@@ -1,0 +1,89 @@
+//! FUSE kernel-user switching model.
+//!
+//! §4.8: "the FUSE framework is a user-space file system implementation...
+//! However, FUSE introduces substantial kernel-user mode switching
+//! overhead... By default, FUSE flushes 4KB data from the user space to
+//! the kernel space each time, resulting in frequent kernel-user mode
+//! switches and significant overheads. OLFS sets the mount option
+//! big_writes to flush 128 KB data each time."
+//!
+//! The model: every flush of `flush_bytes` pays a fixed switch cost on
+//! top of its transfer time, so streaming throughput is
+//! `1 / (1/B + c/flush_bytes)` — calibrated so 128 KB flushes reproduce
+//! the measured factors of §5.3.
+
+use crate::params;
+use ros_sim::Bandwidth;
+
+/// Per-flush overhead of the FUSE write path, in seconds. Calibrated so
+/// a 128 KB `big_writes` flush over the 1.0 GB/s ext4 baseline yields
+/// the measured 0.482 write factor.
+pub fn write_flush_overhead_secs(baseline: Bandwidth) -> f64 {
+    // t_total = t_base / factor  =>  overhead = t_base (1/f - 1).
+    let t_base = params::FUSE_BIG_WRITES_BYTES as f64 / baseline.bytes_per_sec();
+    t_base * (1.0 / params::FUSE_WRITE_FACTOR - 1.0)
+}
+
+/// Per-flush overhead of the FUSE read path, in seconds (reads use
+/// 128 KB transfers as well; calibrated to the 0.759 read factor).
+pub fn read_flush_overhead_secs(baseline: Bandwidth) -> f64 {
+    let t_base = params::FUSE_BIG_WRITES_BYTES as f64 / baseline.bytes_per_sec();
+    t_base * (1.0 / params::FUSE_READ_FACTOR - 1.0)
+}
+
+/// Streaming write throughput through FUSE with a given flush size.
+pub fn write_throughput(baseline: Bandwidth, flush_bytes: u64) -> Bandwidth {
+    let overhead = write_flush_overhead_secs(baseline);
+    let t = flush_bytes as f64 / baseline.bytes_per_sec() + overhead;
+    Bandwidth::from_bytes_per_sec(flush_bytes as f64 / t)
+}
+
+/// Streaming read throughput through FUSE with a given transfer size.
+pub fn read_throughput(baseline: Bandwidth, flush_bytes: u64) -> Bandwidth {
+    let overhead = read_flush_overhead_secs(baseline);
+    let t = flush_bytes as f64 / baseline.bytes_per_sec() + overhead;
+    Bandwidth::from_bytes_per_sec(flush_bytes as f64 / t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_w() -> Bandwidth {
+        Bandwidth::from_mb_per_sec(1002.0)
+    }
+
+    fn baseline_r() -> Bandwidth {
+        Bandwidth::from_mb_per_sec(1204.0)
+    }
+
+    #[test]
+    fn big_writes_reproduces_measured_factor() {
+        let bw = write_throughput(baseline_w(), params::FUSE_BIG_WRITES_BYTES);
+        let factor = bw.bytes_per_sec() / baseline_w().bytes_per_sec();
+        assert!((factor - params::FUSE_WRITE_FACTOR).abs() < 1e-9);
+        let br = read_throughput(baseline_r(), params::FUSE_BIG_WRITES_BYTES);
+        let factor = br.bytes_per_sec() / baseline_r().bytes_per_sec();
+        assert!((factor - params::FUSE_READ_FACTOR).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_4k_flushes_are_catastrophic() {
+        // §4.8's motivation for big_writes: 32x more switches.
+        let big = write_throughput(baseline_w(), params::FUSE_BIG_WRITES_BYTES);
+        let small = write_throughput(baseline_w(), params::FUSE_DEFAULT_FLUSH_BYTES);
+        let ratio = big.bytes_per_sec() / small.bytes_per_sec();
+        assert!(
+            ratio > 10.0,
+            "big_writes must be an order of magnitude faster (ratio {ratio:.1})"
+        );
+    }
+
+    #[test]
+    fn overheads_are_positive_microseconds() {
+        let w = write_flush_overhead_secs(baseline_w());
+        assert!(w > 50e-6 && w < 500e-6, "write overhead = {w}");
+        let r = read_flush_overhead_secs(baseline_r());
+        assert!(r > 10e-6 && r < 200e-6, "read overhead = {r}");
+    }
+}

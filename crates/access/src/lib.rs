@@ -1,0 +1,43 @@
+//! Access-path stack models: how clients reach OLFS.
+//!
+//! §4.8/§5.3: the prototype exports OLFS through FUSE, optionally behind
+//! Samba in the NAS deployment the paper recommends. Each layer costs
+//! throughput (kernel-user switches, SMB round trips) and latency (extra
+//! stat operations per request). This crate models the five measured
+//! configurations of Figure 6 —
+//!
+//! | configuration | read (vs ext4) | write (vs ext4) |
+//! |---------------|----------------|-----------------|
+//! | ext4 (baseline RAID-5) | 1.000 | 1.000 |
+//! | ext4+FUSE     | 0.759 | 0.482 |
+//! | ext4+OLFS     | 0.540 | 0.433 |
+//! | samba         | 0.311 | 0.320 |
+//! | samba+FUSE    | ~0.24 | ~0.31 |
+//! | samba+OLFS    | 0.196 | 0.323 |
+//!
+//! — plus the per-operation latency compositions of Figure 7 (OLFS write
+//! 16 ms / read 9 ms; samba+OLFS write 53 ms / read 15 ms), the
+//! direct-writing bypass mode of §4.8, and the §4.2 interface
+//! extensions: a [`KvStore`], an S3-style [`ObjectStore`], a REST router
+//! ([`RestApi`]) and an iSCSI-style block LUN ([`BlockLun`]), all mapped
+//! onto the OLFS namespace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod fuse;
+pub mod gateway;
+pub mod kv;
+pub mod object;
+pub mod params;
+pub mod rest;
+pub mod samba;
+pub mod stack;
+
+pub use block::BlockLun;
+pub use gateway::NasGateway;
+pub use kv::KvStore;
+pub use object::ObjectStore;
+pub use rest::RestApi;
+pub use stack::{AccessStack, StackThroughput};

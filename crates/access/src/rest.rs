@@ -1,0 +1,331 @@
+//! REST interface over the object store — the third §4.2 extension.
+//!
+//! A minimal HTTP-shaped request/response layer (no sockets; the
+//! transport belongs to the deployment) routing S3-flavoured calls onto
+//! [`crate::ObjectStore`]:
+//!
+//! ```text
+//! PUT    /<bucket>/<key>      body        → 201
+//! GET    /<bucket>/<key>                  → 200 + body
+//! HEAD   /<bucket>/<key>                  → 200 + headers
+//! DELETE /<bucket>/<key>                  → 204
+//! GET    /<bucket>?prefix=<p>             → 200 + key list
+//! PUT    /<bucket>                        → 201 (create bucket)
+//! GET    /                                → 200 + bucket list
+//! ```
+
+use crate::object::ObjectStore;
+use bytes::Bytes;
+use ros_olfs::{OlfsError, Ros};
+use std::collections::BTreeMap;
+
+/// HTTP-ish method.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Fetch an object, a bucket listing or the bucket index.
+    Get,
+    /// Store an object or create a bucket.
+    Put,
+    /// Fetch object metadata only.
+    Head,
+    /// Remove an object.
+    Delete,
+}
+
+/// A request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method.
+    pub method: Method,
+    /// Path of the form `/`, `/<bucket>` or `/<bucket>/<key...>`.
+    pub path: String,
+    /// Optional `prefix` query for listings.
+    pub prefix: Option<String>,
+    /// Body for PUT.
+    pub body: Bytes,
+    /// `Content-Type` header for PUT.
+    pub content_type: Option<String>,
+    /// `x-meta-*` user metadata for PUT.
+    pub user_meta: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// A GET request.
+    pub fn get(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            prefix: None,
+            body: Bytes::new(),
+            content_type: None,
+            user_meta: BTreeMap::new(),
+        }
+    }
+
+    /// A PUT request with a body.
+    pub fn put(path: impl Into<String>, body: impl Into<Bytes>) -> Self {
+        Request {
+            method: Method::Put,
+            path: path.into(),
+            prefix: None,
+            body: body.into(),
+            content_type: None,
+            user_meta: BTreeMap::new(),
+        }
+    }
+
+    /// A HEAD request.
+    pub fn head(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Head,
+            ..Request::get(path)
+        }
+    }
+
+    /// A DELETE request.
+    pub fn delete(path: impl Into<String>) -> Self {
+        Request {
+            method: Method::Delete,
+            ..Request::get(path)
+        }
+    }
+}
+
+/// A response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body (object bytes, or a newline-separated listing).
+    pub body: Bytes,
+    /// Selected headers.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Response {
+    fn status_only(status: u16) -> Self {
+        Response {
+            status,
+            body: Bytes::new(),
+            headers: BTreeMap::new(),
+        }
+    }
+}
+
+/// The REST front end.
+pub struct RestApi {
+    store: ObjectStore,
+}
+
+impl RestApi {
+    /// Wraps an engine.
+    pub fn new(ros: Ros) -> Self {
+        RestApi {
+            store: ObjectStore::new(ros),
+        }
+    }
+
+    /// Access to the underlying object store.
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Splits `/<bucket>/<key...>` into components.
+    fn split(path: &str) -> (Option<&str>, Option<&str>) {
+        let trimmed = path.strip_prefix('/').unwrap_or(path);
+        if trimmed.is_empty() {
+            return (None, None);
+        }
+        match trimmed.split_once('/') {
+            Some((bucket, key)) if !key.is_empty() => (Some(bucket), Some(key)),
+            Some((bucket, _)) => (Some(bucket), None),
+            None => (Some(trimmed), None),
+        }
+    }
+
+    /// Routes one request.
+    pub fn handle(&mut self, req: Request) -> Response {
+        let (bucket, key) = Self::split(&req.path);
+        let result = match (req.method, bucket, key) {
+            (Method::Get, None, None) => self.list_buckets(),
+            (Method::Put, Some(b), None) => self.create_bucket(b),
+            (Method::Get, Some(b), None) => self.list_objects(b, req.prefix.as_deref()),
+            (Method::Put, Some(b), Some(k)) => self.put_object(&req, b, k),
+            (Method::Get, Some(b), Some(k)) => self.get_object(b, k),
+            (Method::Head, Some(b), Some(k)) => self.head_object(b, k),
+            (Method::Delete, Some(b), Some(k)) => self.delete_object(b, k),
+            _ => return Response::status_only(405),
+        };
+        match result {
+            Ok(resp) => resp,
+            Err(OlfsError::NotFound(_)) => Response::status_only(404),
+            Err(OlfsError::AlreadyExists(_)) => Response::status_only(409),
+            Err(OlfsError::Invalid(_)) => Response::status_only(400),
+            Err(_) => Response::status_only(500),
+        }
+    }
+
+    fn list_buckets(&mut self) -> Result<Response, OlfsError> {
+        let buckets = self.store.list_buckets()?;
+        Ok(Response {
+            status: 200,
+            body: Bytes::from(buckets.join("\n")),
+            headers: BTreeMap::new(),
+        })
+    }
+
+    fn create_bucket(&mut self, bucket: &str) -> Result<Response, OlfsError> {
+        self.store.create_bucket(bucket)?;
+        Ok(Response::status_only(201))
+    }
+
+    fn list_objects(&mut self, bucket: &str, prefix: Option<&str>) -> Result<Response, OlfsError> {
+        let keys = self.store.list_objects(bucket, prefix)?;
+        Ok(Response {
+            status: 200,
+            body: Bytes::from(keys.join("\n")),
+            headers: BTreeMap::new(),
+        })
+    }
+
+    fn put_object(
+        &mut self,
+        req: &Request,
+        bucket: &str,
+        key: &str,
+    ) -> Result<Response, OlfsError> {
+        let meta = self.store.put_object(
+            bucket,
+            key,
+            req.body.clone(),
+            req.content_type.as_deref(),
+            req.user_meta.clone(),
+        )?;
+        let mut headers = BTreeMap::new();
+        headers.insert("x-version".into(), meta.version.to_string());
+        Ok(Response {
+            status: 201,
+            body: Bytes::new(),
+            headers,
+        })
+    }
+
+    fn get_object(&mut self, bucket: &str, key: &str) -> Result<Response, OlfsError> {
+        let obj = self.store.get_object(bucket, key)?;
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".into(), obj.meta.size.to_string());
+        if let Some(ct) = &obj.meta.content_type {
+            headers.insert("content-type".into(), ct.clone());
+        }
+        headers.insert(
+            "x-latency-ms".into(),
+            format!("{:.3}", obj.latency.as_millis_f64()),
+        );
+        Ok(Response {
+            status: 200,
+            body: obj.data,
+            headers,
+        })
+    }
+
+    fn head_object(&mut self, bucket: &str, key: &str) -> Result<Response, OlfsError> {
+        let meta = self.store.head_object(bucket, key)?;
+        let mut headers = BTreeMap::new();
+        headers.insert("content-length".into(), meta.size.to_string());
+        headers.insert("x-version".into(), meta.version.to_string());
+        for (k, v) in &meta.user {
+            headers.insert(format!("x-meta-{k}"), v.clone());
+        }
+        Ok(Response {
+            status: 200,
+            body: Bytes::new(),
+            headers,
+        })
+    }
+
+    fn delete_object(&mut self, bucket: &str, key: &str) -> Result<Response, OlfsError> {
+        self.store.delete_object(bucket, key)?;
+        Ok(Response::status_only(204))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros_olfs::RosConfig;
+
+    fn api() -> RestApi {
+        RestApi::new(Ros::new(RosConfig::tiny()))
+    }
+
+    #[test]
+    fn full_object_lifecycle_over_rest() {
+        let mut api = api();
+        assert_eq!(
+            api.handle(Request::put("/archive", Bytes::new())).status,
+            201
+        );
+        let mut put = Request::put("/archive/reports/q2.pdf", vec![7u8; 1000]);
+        put.content_type = Some("application/pdf".into());
+        put.user_meta.insert("owner".into(), "alice".into());
+        let resp = api.handle(put);
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.headers["x-version"], "1");
+
+        let head = api.handle(Request::head("/archive/reports/q2.pdf"));
+        assert_eq!(head.status, 200);
+        assert_eq!(head.headers["content-length"], "1000");
+        assert_eq!(head.headers["x-meta-owner"], "alice");
+
+        let get = api.handle(Request::get("/archive/reports/q2.pdf"));
+        assert_eq!(get.status, 200);
+        assert_eq!(get.body.len(), 1000);
+        assert_eq!(get.headers["content-type"], "application/pdf");
+
+        assert_eq!(
+            api.handle(Request::delete("/archive/reports/q2.pdf"))
+                .status,
+            204
+        );
+        assert_eq!(
+            api.handle(Request::get("/archive/reports/q2.pdf")).status,
+            404
+        );
+    }
+
+    #[test]
+    fn listings_and_roots() {
+        let mut api = api();
+        api.handle(Request::put("/b1", Bytes::new()));
+        api.handle(Request::put("/b2", Bytes::new()));
+        api.handle(Request::put("/b1/logs/a", vec![1]));
+        api.handle(Request::put("/b1/logs/b", vec![2]));
+        api.handle(Request::put("/b1/data/c", vec![3]));
+        let buckets = api.handle(Request::get("/"));
+        assert_eq!(buckets.status, 200);
+        assert_eq!(buckets.body.as_ref(), b"b1\nb2");
+        let mut list = Request::get("/b1");
+        list.prefix = Some("logs/".into());
+        let resp = api.handle(list);
+        assert_eq!(resp.body.as_ref(), b"logs/a\nlogs/b");
+    }
+
+    #[test]
+    fn errors_map_to_http_statuses() {
+        let mut api = api();
+        assert_eq!(api.handle(Request::get("/missing/key")).status, 404);
+        assert_eq!(api.handle(Request::delete("/missing/key")).status, 404);
+        // Unroutable: DELETE on the root.
+        assert_eq!(api.handle(Request::delete("/")).status, 405);
+    }
+
+    #[test]
+    fn overwrite_reports_new_version() {
+        let mut api = api();
+        api.handle(Request::put("/v", Bytes::new()));
+        api.handle(Request::put("/v/k", vec![1]));
+        api.store_mut().ros_mut().seal_open_buckets().unwrap();
+        let resp = api.handle(Request::put("/v/k", vec![2]));
+        assert_eq!(resp.headers["x-version"], "2");
+    }
+}

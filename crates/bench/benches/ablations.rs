@@ -1,0 +1,24 @@
+//! Ablations of the paper's design choices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ros_bench::render::render_ablations());
+    let (spread, crammed) = ros_bench::ablation_volumes();
+    assert!(spread > crammed * 1.5, "volume spreading must pay off");
+    let (par, ser) = ros_bench::ablation_parallel_scheduling();
+    let saving = ser - par;
+    assert!((7.0..10.0).contains(&saving), "saving = {saving:.1}s");
+    let (fp_ms, no_fp_s) = ros_bench::ablation_forepart();
+    assert!(fp_ms <= 2.1, "forepart first byte = {fp_ms} ms");
+    assert!(no_fp_s > 60.0, "without forepart = {no_fp_s} s");
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("forepart_cold_read", |b| {
+        b.iter(ros_bench::ablation_forepart)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 10: single-drive 100 GB recording with fail-safe dips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let plan = ros_bench::fig10();
+    println!("{}", ros_bench::render::render_fig10());
+    assert!((plan.total.as_secs_f64() - 3757.0).abs() < 80.0);
+    assert!((plan.average_x - 5.9).abs() < 0.1);
+    let dips = plan
+        .samples
+        .iter()
+        .filter(|s| s.x > 0.0 && s.x < 5.0)
+        .count();
+    assert!(dips > 0, "fail-safe dips must appear");
+    c.bench_function("fig10/burn_plan_100gb", |b| b.iter(ros_bench::fig10));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

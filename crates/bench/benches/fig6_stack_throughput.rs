@@ -1,0 +1,28 @@
+//! Figure 6: singlestream throughput under the five software stacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let bars = ros_bench::fig6();
+    println!("{}", ros_bench::render::render_fig6());
+    // The headline result: samba+OLFS ≈ 236.1 MB/s read, 323.6 MB/s write.
+    let so = bars.iter().find(|b| b.stack == "samba+OLFS").expect("bar");
+    assert!(
+        (so.read_mbps - 236.1).abs() < 8.0,
+        "read = {}",
+        so.read_mbps
+    );
+    assert!(
+        (so.write_mbps - 323.6).abs() < 8.0,
+        "write = {}",
+        so.write_mbps
+    );
+    // Reads strictly descend across the stacks.
+    for pair in bars.windows(2) {
+        assert!(pair[0].read_norm > pair[1].read_norm);
+    }
+    c.bench_function("fig6/stack_model", |b| b.iter(ros_bench::fig6));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

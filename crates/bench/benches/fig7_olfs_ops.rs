@@ -1,0 +1,32 @@
+//! Figure 7: internal OLFS operations per POSIX call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let ops = ros_bench::fig7();
+    println!("{}", ros_bench::render::render_fig7());
+    for op in &ops {
+        let rel = (op.measured_ms - op.paper_ms).abs() / op.paper_ms;
+        assert!(
+            rel < 0.08,
+            "{}: {:.1} ms vs paper {:.0} ms",
+            op.label,
+            op.measured_ms,
+            op.paper_ms
+        );
+    }
+    // The samba write gains exactly the paper's extra stat burst.
+    let sw = ops
+        .iter()
+        .find(|o| o.label == "samba+OLFS write")
+        .expect("op");
+    let stats = sw.steps.iter().filter(|(n, _)| n == "stat").count();
+    assert_eq!(stats, 8, "2 OLFS stats + 6 Samba stats");
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    group.bench_function("op_trace_scenario", |b| b.iter(ros_bench::fig7));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

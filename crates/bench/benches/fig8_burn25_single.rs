@@ -1,0 +1,14 @@
+//! Figure 8: single-drive 25 GB recording curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let plan = ros_bench::fig8();
+    println!("{}", ros_bench::render::render_fig8());
+    assert!((plan.total.as_secs_f64() - 675.0).abs() < 10.0);
+    assert!((plan.average_x - 8.2).abs() < 0.15);
+    c.bench_function("fig8/burn_plan_25gb", |b| b.iter(ros_bench::fig8));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 9: 12-drive aggregate burn of a 25 GB disc array.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let report = ros_bench::fig9();
+    println!("{}", ros_bench::render::render_fig9());
+    assert!((report.total.as_secs_f64() - 1146.0).abs() / 1146.0 < 0.03);
+    assert!((report.peak.mb_per_sec() - 380.0).abs() < 5.0);
+    assert!((report.average.mb_per_sec() - 268.0).abs() / 268.0 < 0.04);
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("array_burn_cosim", |b| b.iter(ros_bench::fig9));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

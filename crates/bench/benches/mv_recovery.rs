@@ -1,0 +1,16 @@
+//! §4.2's MV recovery experiment: half an hour for 120 discs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let t = ros_bench::mv_recovery_default();
+    println!("{}", ros_bench::render::render_mvrec());
+    let mins = t.as_secs_f64() / 60.0;
+    assert!((27.0..33.0).contains(&mins), "recovery = {mins:.1} min");
+    c.bench_function("mvrec/model_120_discs", |b| {
+        b.iter(ros_bench::mv_recovery_default)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Micro-benchmarks of the library's own hot paths (host wall time):
+//! how fast the simulation engine processes writes, reads and burns.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ros_olfs::{Ros, RosConfig, UdfPath};
+
+fn bench(c: &mut Criterion) {
+    let p = |s: &str| -> UdfPath { s.parse().unwrap() };
+
+    c.bench_function("hot/write_1kb", |b| {
+        b.iter_batched(
+            || (Ros::new(RosConfig::tiny()), 0u32),
+            |(mut ros, mut i)| {
+                for _ in 0..16 {
+                    ros.write_file(&p(&format!("/w/{i}")), vec![0u8; 1024])
+                        .unwrap();
+                    i += 1;
+                }
+                ros
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("hot/read_buffered_64kb", |b| {
+        let mut ros = Ros::new(RosConfig::tiny());
+        ros.write_file(&p("/r"), vec![7u8; 65536]).unwrap();
+        b.iter(|| ros.read_file(&p("/r")).unwrap().data.len())
+    });
+
+    c.bench_function("hot/flush_small_dataset", |b| {
+        b.iter_batched(
+            || {
+                let mut ros = Ros::new(RosConfig::tiny());
+                for i in 0..12 {
+                    ros.write_file(&p(&format!("/f/{i}")), vec![1u8; 400_000])
+                        .unwrap();
+                }
+                ros
+            },
+            |mut ros| {
+                ros.flush().unwrap();
+                ros
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

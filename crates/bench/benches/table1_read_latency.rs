@@ -1,0 +1,39 @@
+//! Table 1: read latency from the six file locations.
+//!
+//! The criterion measurement times the *scenario construction + read*
+//! on the host; the simulated latencies themselves are printed once and
+//! asserted against the paper inside `ros_bench::table1`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = ros_bench::table1();
+    println!("{}", ros_bench::render::render_table1());
+    // Shape assertions: each row strictly slower than the previous.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].measured_secs > pair[0].measured_secs,
+            "Table 1 rows must be ordered by latency"
+        );
+    }
+    // Quantitative: within tolerance of the paper where a number exists.
+    for row in &rows {
+        if let Some(paper) = row.paper_secs {
+            let tol = (paper * 0.05f64).max(0.0003);
+            assert!(
+                (row.measured_secs - paper).abs() < tol,
+                "{}: measured {:.4}s vs paper {:.3}s",
+                row.location,
+                row.measured_secs,
+                paper
+            );
+        }
+    }
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("six_location_scenario", |b| b.iter(ros_bench::table1));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 2: single and aggregate optical read speeds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = ros_bench::table2();
+    println!("{}", ros_bench::render::render_table2());
+    for row in &rows {
+        assert!((row.single - row.paper_single).abs() / row.paper_single < 0.02);
+        assert!((row.aggregate - row.paper_aggregate).abs() / row.paper_aggregate < 0.02);
+    }
+    c.bench_function("table2/aggregate_read_model", |b| b.iter(ros_bench::table2));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 3: disc-array load/unload latency at the uppermost and lowest
+//! layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = ros_bench::table3();
+    println!("{}", ros_bench::render::render_table3());
+    for row in &rows {
+        assert!((row.load - row.paper_load).abs() < 0.1, "{}", row.location);
+        assert!(
+            (row.unload - row.paper_unload).abs() < 0.1,
+            "{}",
+            row.location
+        );
+    }
+    c.bench_function("table3/mech_cycle_model", |b| b.iter(ros_bench::table3));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! §2.1 TCO analysis: 1 PB for 100 years on four technologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let rows = ros_bench::tco();
+    println!("{}", ros_bench::render::render_tco());
+    let get = |n: &str| rows.iter().find(|b| b.name == n).expect("media").total();
+    let optical = get("optical");
+    assert!((optical - 250_000.0).abs() / 250_000.0 < 0.15);
+    assert!((optical / get("hdd") - 1.0 / 3.0).abs() < 0.07);
+    assert!((optical / get("tape") - 0.5).abs() < 0.08);
+    c.bench_function("tco/compare_all", |b| b.iter(ros_bench::tco));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

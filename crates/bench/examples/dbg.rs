@@ -1,0 +1,28 @@
+fn main() {
+    use ros_olfs::*;
+    let mut cfg = RosConfig::tiny();
+    cfg.layout = ros_mech::RackLayout::default();
+    cfg.drive_bays = 1;
+    cfg.read_cache_images = 512;
+    cfg.forepart_bytes = 4096;
+    let mut ros = Ros::new(cfg);
+    let p = |s: &str| -> UdfPath { s.parse().unwrap() };
+    for i in 0..12 {
+        ros.write_file(&p(&format!("/t1/set-a/{i}")), vec![3u8; 900_000])
+            .unwrap();
+    }
+    ros.flush().unwrap();
+    ros.evict_burned_copies();
+    let r = ros.read_file(&p("/t1/set-a/0")).unwrap();
+    println!(
+        "source {:?} segs {:?}",
+        r.source,
+        ros.image_segments(&p("/t1/set-a/0"))
+    );
+    for s in &r.trace.steps {
+        println!("step {} {:?}", s.name, s.duration);
+    }
+    for s in &r.trace.extra {
+        println!("extra {} {:?}", s.name, s.duration);
+    }
+}

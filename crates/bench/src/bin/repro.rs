@@ -1,0 +1,34 @@
+//! `repro` — regenerate the paper's tables and figures from the models.
+//!
+//! Usage: `repro [table1|table2|table3|fig6|fig7|fig8|fig9|fig10|tco|power|mvrec|ablations|all]`
+
+use ros_bench::render;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let out = match arg.as_str() {
+        "table1" => render::render_table1(),
+        "table2" => render::render_table2(),
+        "table3" => render::render_table3(),
+        "fig6" => render::render_fig6(),
+        "fig7" => render::render_fig7(),
+        "fig8" => render::render_fig8(),
+        "fig9" => render::render_fig9(),
+        "fig10" => render::render_fig10(),
+        "tco" => render::render_tco(),
+        "power" => render::render_power(),
+        "mvrec" => render::render_mvrec(),
+        "capacity" => render::render_capacity(),
+        "ablations" => render::render_ablations(),
+        "all" => render::render_all(),
+        "--json" | "json" => render::render_json(),
+        other => {
+            eprintln!(
+                "unknown experiment '{other}'; expected one of: table1 table2 table3 \
+                 fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations all json"
+            );
+            std::process::exit(2);
+        }
+    };
+    print!("{out}");
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each function in [`experiments`] builds the scenario behind one table
+//! or figure of §5 (or a quantitative claim from §2/§4), runs it through
+//! the actual system models, and returns structured results. The `repro`
+//! binary renders them in the paper's layout; the Criterion benches in
+//! `benches/` time the same scenarios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::*;

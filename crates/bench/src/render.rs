@@ -1,0 +1,435 @@
+//! Text rendering of experiment results in the paper's layout.
+
+use crate::experiments::*;
+use ros_sim::Bandwidth;
+
+fn hr(title: &str) -> String {
+    format!(
+        "\n=== {title} {}\n",
+        "=".repeat(60usize.saturating_sub(title.len()))
+    )
+}
+
+/// Renders Table 1.
+pub fn render_table1() -> String {
+    let mut out = hr("Table 1: Read latency from different file locations");
+    out += &format!(
+        "{:<55} {:>12} {:>12}\n",
+        "File location", "paper (s)", "ours (s)"
+    );
+    for row in table1() {
+        let paper = row
+            .paper_secs
+            .map(|s| format!("{s:.3}"))
+            .unwrap_or_else(|| "minutes".into());
+        out += &format!(
+            "{:<55} {:>12} {:>12.3}\n",
+            row.location, paper, row.measured_secs
+        );
+    }
+    out += "(row 6 measured at 4 MiB disc scale; at 25/100 GB media the wait\n is the residual burn time: up to 675 s / 3757 s per disc)\n";
+    out
+}
+
+/// Renders Table 2.
+pub fn render_table2() -> String {
+    let mut out = hr("Table 2: Optical drive read speeds");
+    out += &format!(
+        "{:<10} {:>14} {:>14} {:>16} {:>16}\n",
+        "Disc", "paper 1x", "ours 1x", "paper 12x", "ours 12x"
+    );
+    for row in table2() {
+        out += &format!(
+            "{:<10} {:>12.1}MB {:>12.1}MB {:>14.1}MB {:>14.1}MB\n",
+            format!("{}GB", row.capacity_gb),
+            row.paper_single,
+            row.single,
+            row.paper_aggregate,
+            row.aggregate
+        );
+    }
+    out
+}
+
+/// Renders Table 3.
+pub fn render_table3() -> String {
+    let mut out = hr("Table 3: Mechanical latency");
+    out += &format!(
+        "{:<18} {:>12} {:>12} {:>14} {:>14}\n",
+        "Slot location", "paper load", "ours load", "paper unload", "ours unload"
+    );
+    for row in table3() {
+        out += &format!(
+            "{:<18} {:>11.1}s {:>11.1}s {:>13.1}s {:>13.1}s\n",
+            row.location, row.paper_load, row.load, row.paper_unload, row.unload
+        );
+    }
+    out
+}
+
+/// Renders Figure 6.
+pub fn render_fig6() -> String {
+    let mut out = hr("Figure 6: Throughput under the five configurations (vs ext4)");
+    out += &format!(
+        "{:<14} {:>10} {:>10} {:>12} {:>12}\n",
+        "stack", "read", "write", "read MB/s", "write MB/s"
+    );
+    for bar in fig6() {
+        out += &format!(
+            "{:<14} {:>10.3} {:>10.3} {:>12.1} {:>12.1}\n",
+            bar.stack, bar.read_norm, bar.write_norm, bar.read_mbps, bar.write_mbps
+        );
+    }
+    out += "(paper: samba+OLFS = 236.1 MB/s read, 323.6 MB/s write)\n";
+    out
+}
+
+/// Renders Figure 7.
+pub fn render_fig7() -> String {
+    let mut out = hr("Figure 7: OLFS internal operations per POSIX call");
+    for op in fig7() {
+        out += &format!(
+            "{:<22} total {:>6.1} ms (paper {:>4.0} ms)  steps: ",
+            op.label, op.measured_ms, op.paper_ms
+        );
+        let steps: Vec<String> = op
+            .steps
+            .iter()
+            .map(|(n, ms)| format!("{n}({ms:.1})"))
+            .collect();
+        out += &steps.join(" → ");
+        out += "\n";
+    }
+    out
+}
+
+/// Renders Figure 8.
+pub fn render_fig8() -> String {
+    let plan = fig8();
+    let mut out = hr("Figure 8: Single drive recording 25GB disc");
+    out += &format!(
+        "total {:.0} s (paper 675 s), average {:.1}X (paper 8.2X)\n\n",
+        plan.total.as_secs_f64(),
+        plan.average_x
+    );
+    out += "progress   speed\n";
+    for pct in [0.0, 0.098, 0.23, 0.382, 0.555, 0.749, 0.964] {
+        let x = plan
+            .samples
+            .iter()
+            .rfind(|s| s.progress <= pct + 1e-9)
+            .map(|s| s.x)
+            .unwrap_or(0.0);
+        out += &format!("{:>7.1}%  {:>5.1}X  {}\n", pct * 100.0, x, bar(x, 12.0, 40));
+    }
+    out
+}
+
+/// Renders Figure 9.
+pub fn render_fig9() -> String {
+    let report = fig9();
+    let mut out = hr("Figure 9: Aggregated throughput of 12 drives burning 25GB discs");
+    out += &format!(
+        "total {:.0} s (paper 1146 s), peak {:.0} MB/s (paper ~380), avg {:.0} MB/s (paper 268)\n\n",
+        report.total.as_secs_f64(),
+        report.peak.mb_per_sec(),
+        report.average.mb_per_sec()
+    );
+    out += "time      aggregate\n";
+    let total = report.total.as_secs_f64();
+    for frac in [0.02, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95] {
+        let t = ros_sim::SimTime::from_nanos((total * frac * 1e9) as u64);
+        let rate = report.series.rate_at(t).mb_per_sec();
+        out += &format!(
+            "{:>6.0} s  {:>6.0} MB/s  {}\n",
+            total * frac,
+            rate,
+            bar(rate, 400.0, 40)
+        );
+    }
+    out
+}
+
+/// Renders Figure 10.
+pub fn render_fig10() -> String {
+    let plan = fig10();
+    let mut out = hr("Figure 10: Single drive recording 100GB disc");
+    out += &format!(
+        "total {:.0} s (paper 3757 s), average {:.2}X (paper 5.9X)\n",
+        plan.total.as_secs_f64(),
+        plan.average_x
+    );
+    let dips = plan
+        .samples
+        .iter()
+        .filter(|s| s.x > 0.0 && s.x < 5.0)
+        .count();
+    out += &format!(
+        "fail-safe dips to 4.0X: {dips} sample windows out of {}\n\n",
+        plan.samples.len()
+    );
+    out += "progress   speed (zoomed shape: mostly 6.0X with 4.0X dips)\n";
+    for s in plan.samples.iter().step_by(23).take(16) {
+        out += &format!(
+            "{:>7.1}%  {:>4.1}X  {}\n",
+            s.progress * 100.0,
+            s.x,
+            bar(s.x, 8.0, 40)
+        );
+    }
+    out
+}
+
+/// Renders the TCO comparison (§2.1).
+pub fn render_tco() -> String {
+    let mut out = hr("TCO: 1 PB preserved for 100 years (§2.1 model)");
+    out += &format!(
+        "{:<9} {:>10} {:>11} {:>9} {:>12} {:>10} {:>11}\n",
+        "media", "media $", "migration", "energy", "maintenance", "hardware", "total $/PB"
+    );
+    let rows = tco();
+    for b in &rows {
+        out += &format!(
+            "{:<9} {:>10.0} {:>11.0} {:>9.0} {:>12.0} {:>10.0} {:>11.0}\n",
+            b.name,
+            b.media,
+            b.migration,
+            b.energy,
+            b.maintenance,
+            b.hardware,
+            b.total()
+        );
+    }
+    let optical = rows.iter().find(|b| b.name == "optical").expect("optical");
+    let hdd = rows.iter().find(|b| b.name == "hdd").expect("hdd");
+    let tape = rows.iter().find(|b| b.name == "tape").expect("tape");
+    out += &format!(
+        "\noptical/hdd = {:.2} (paper: ~1/3), optical/tape = {:.2} (paper: ~1/2)\n",
+        optical.total() / hdd.total(),
+        optical.total() / tape.total()
+    );
+    out
+}
+
+/// Renders the power budget (§5.1).
+pub fn render_power() -> String {
+    let (idle, peak) = power();
+    let mut out = hr("Power: rack operating points (§5.1)");
+    out += &format!("idle: {idle:.1} W (paper 185 W)\npeak: {peak:.1} W (paper 652 W)\n");
+    out
+}
+
+/// Renders the MV-recovery experiment (§4.2).
+pub fn render_mvrec() -> String {
+    let t = mv_recovery_default();
+    let mut out = hr("MV recovery from 120 discs (§4.2)");
+    out += &format!(
+        "recovered in {:.1} min (paper: \"half an hour\")\n",
+        t.as_secs_f64() / 60.0
+    );
+    out += "(120 discs x 3.7 GB of MV snapshot, 10 tray cycles over 2 bays)\n";
+    out
+}
+
+/// Renders the capacity-planning analysis.
+pub fn render_capacity() -> String {
+    let c = capacity();
+    let mut out = hr("Capacity planning (derived from the models)");
+    out += &format!(
+        "client network (10GbE payload):     {:>8.0} MB/s\n",
+        c.network_mbps
+    );
+    out += &format!(
+        "samba+OLFS write path:              {:>8.0} MB/s\n",
+        c.samba_write_mbps
+    );
+    out += &format!(
+        "direct-writing mode (§4.8):         {:>8.0} MB/s\n",
+        c.direct_write_mbps
+    );
+    out += &format!(
+        "burn drain, 2 bays x 100GB media:   {:>8.0} MB/s of user data\n",
+        c.drain_bd100_mbps
+    );
+    out += &format!(
+        "burn drain, 2 bays x 25GB media:    {:>8.0} MB/s of user data\n",
+        c.drain_bd25_mbps
+    );
+    out += &format!(
+        "disk buffer:                        {:>8.0} TB\n",
+        c.buffer_tb
+    );
+    out += &format!(
+        "burst absorption at full direct-mode ingest: {:.1} h before the buffer fills\n",
+        c.burst_hours
+    );
+    out += "(sustained ingest is drain-bound; §3.3's tiered buffer hides the gap for bursts)\n";
+    out
+}
+
+/// Renders the ablation studies.
+pub fn render_ablations() -> String {
+    let mut out = hr("Ablations (design choices of §3.2, §4.7, §4.8)");
+    let (spread, crammed) = ablation_volumes();
+    out += &format!(
+        "independent RAID volumes (§4.7): useful bandwidth {spread:.0} MB/s spread over two volumes vs {crammed:.0} MB/s crammed on one\n"
+    );
+    let (par, ser) = ablation_parallel_scheduling();
+    out += &format!(
+        "parallel mech scheduling (§3.2): load+unload cycle {par:.1}s; serialized {ser:.1}s (saves {:.1}s)\n",
+        ser - par
+    );
+    let (with_ms, without_s) = ablation_forepart();
+    out += &format!(
+        "forepart store (§4.8): first byte {with_ms:.1} ms with forepart vs {without_s:.1} s without\n"
+    );
+    out
+}
+
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = ((value / max).clamp(0.0, 1.0) * width as f64) as usize;
+    "#".repeat(n)
+}
+
+/// Renders everything.
+pub fn render_all() -> String {
+    [
+        render_table1(),
+        render_table2(),
+        render_table3(),
+        render_fig6(),
+        render_fig7(),
+        render_fig8(),
+        render_fig9(),
+        render_fig10(),
+        render_tco(),
+        render_power(),
+        render_mvrec(),
+        render_capacity(),
+        render_ablations(),
+    ]
+    .join("")
+}
+
+/// Renders the throughput of a bandwidth value (helper for binaries).
+pub fn fmt_bw(b: Bandwidth) -> String {
+    format!("{:.1} MB/s", b.mb_per_sec())
+}
+
+/// Machine-readable JSON of every experiment (for CI dashboards).
+pub fn render_json() -> String {
+    let t1: Vec<serde_json::Value> = table1()
+        .into_iter()
+        .map(|r| {
+            serde_json::json!({
+                "location": r.location,
+                "paper_secs": r.paper_secs,
+                "measured_secs": r.measured_secs,
+            })
+        })
+        .collect();
+    let t2: Vec<serde_json::Value> = table2()
+        .into_iter()
+        .map(|r| {
+            serde_json::json!({
+                "capacity_gb": r.capacity_gb,
+                "paper_single_mbps": r.paper_single,
+                "single_mbps": r.single,
+                "paper_aggregate_mbps": r.paper_aggregate,
+                "aggregate_mbps": r.aggregate,
+            })
+        })
+        .collect();
+    let t3: Vec<serde_json::Value> = table3()
+        .into_iter()
+        .map(|r| {
+            serde_json::json!({
+                "location": r.location,
+                "paper_load_s": r.paper_load,
+                "load_s": r.load,
+                "paper_unload_s": r.paper_unload,
+                "unload_s": r.unload,
+            })
+        })
+        .collect();
+    let f6: Vec<serde_json::Value> = fig6()
+        .into_iter()
+        .map(|b| {
+            serde_json::json!({
+                "stack": b.stack,
+                "read_norm": b.read_norm,
+                "write_norm": b.write_norm,
+                "read_mbps": b.read_mbps,
+                "write_mbps": b.write_mbps,
+            })
+        })
+        .collect();
+    let f7: Vec<serde_json::Value> = fig7()
+        .into_iter()
+        .map(|o| {
+            serde_json::json!({
+                "label": o.label,
+                "paper_ms": o.paper_ms,
+                "measured_ms": o.measured_ms,
+                "steps": o.steps,
+            })
+        })
+        .collect();
+    let f8 = fig8();
+    let f9 = fig9();
+    let f10 = fig10();
+    let tco_rows: Vec<serde_json::Value> = tco()
+        .into_iter()
+        .map(|b| {
+            serde_json::json!({
+                "media": b.name,
+                "media_usd": b.media,
+                "migration_usd": b.migration,
+                "energy_usd": b.energy,
+                "maintenance_usd": b.maintenance,
+                "hardware_usd": b.hardware,
+                "total_usd_per_pb": b.total(),
+            })
+        })
+        .collect();
+    let (idle_w, peak_w) = power();
+    let (spread, crammed) = ablation_volumes();
+    let (par, ser) = ablation_parallel_scheduling();
+    let (fp_ms, no_fp_s) = ablation_forepart();
+    let doc = serde_json::json!({
+        "table1": t1,
+        "table2": t2,
+        "table3": t3,
+        "fig6": f6,
+        "fig7": f7,
+        "fig8": {
+            "total_s": f8.total.as_secs_f64(),
+            "average_x": f8.average_x,
+            "paper": { "total_s": 675.0, "average_x": 8.2 },
+        },
+        "fig9": {
+            "total_s": f9.total.as_secs_f64(),
+            "peak_mbps": f9.peak.mb_per_sec(),
+            "average_mbps": f9.average.mb_per_sec(),
+            "paper": { "total_s": 1146.0, "peak_mbps": 380.0, "average_mbps": 268.0 },
+        },
+        "fig10": {
+            "total_s": f10.total.as_secs_f64(),
+            "average_x": f10.average_x,
+            "paper": { "total_s": 3757.0, "average_x": 5.9 },
+        },
+        "tco": tco_rows,
+        "power": { "idle_w": idle_w, "peak_w": peak_w,
+                   "paper": { "idle_w": 185.0, "peak_w": 652.0 } },
+        "mv_recovery_min": mv_recovery_default().as_secs_f64() / 60.0,
+        "ablations": {
+            "volumes_spread_mbps": spread,
+            "volumes_crammed_mbps": crammed,
+            "mech_cycle_parallel_s": par,
+            "mech_cycle_serial_s": ser,
+            "forepart_first_byte_ms": fp_ms,
+            "no_forepart_first_byte_s": no_fp_s,
+        },
+    });
+    serde_json::to_string_pretty(&doc).expect("json renders")
+}

@@ -1,0 +1,31 @@
+//! Disk-tier models for the ROS optical library.
+//!
+//! The prototype's disk tier (§3.3, §5.1) is 2 × 240 GB SSDs as a RAID-1
+//! metadata volume plus 14 × 4 TB HDDs as two RAID-5 write-buffer /
+//! read-cache volumes, all behind PCIe 3.0 HBAs. ext4 on one RAID-5
+//! volume measures 1.2 GB/s read and 1.0 GB/s write — the baseline of
+//! Figure 6.
+//!
+//! This crate provides:
+//!
+//! - [`device`]: HDD/SSD block-device timing models,
+//! - [`parity`]: *real* XOR (P) and GF(2^8) Reed-Solomon (Q) parity
+//!   arithmetic with reconstruction of up to two losses — shared by the
+//!   RAID arrays here and by OLFS's disc-array redundancy (§4.7),
+//! - [`raid`]: RAID-0/1/5/6 arrays with failure and rebuild modelling,
+//! - [`volume`]: the volume manager and the concurrent-stream
+//!   interference model that motivates ROS's multiple independent RAID
+//!   volumes (§4.7's four-stream discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod params;
+pub mod parity;
+pub mod raid;
+pub mod volume;
+
+pub use device::{BlockDevice, DeviceKind};
+pub use raid::{RaidArray, RaidError, RaidLevel};
+pub use volume::{StreamId, StreamKind, VolumeId, VolumeManager};

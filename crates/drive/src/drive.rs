@@ -1,0 +1,426 @@
+//! A single optical drive: disc exchange, spin state, reads and burns.
+//!
+//! Drives are passive timing models: every operation returns the duration
+//! it would take; the OLFS engine schedules the corresponding completion
+//! events on the simulation clock.
+
+use crate::media::{Disc, DiscClass, MediaError, Payload};
+use crate::params;
+use crate::speed::{BurnPlan, SpeedCurve};
+use ros_sim::{Bandwidth, SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Spin state of a loaded drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpinState {
+    /// Spun down; the next access pays the ≈2 s mount delay (§5.4).
+    Sleeping,
+    /// Spinning and ready.
+    Active,
+}
+
+/// Overall drive state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriveState {
+    /// No disc in the tray.
+    Empty,
+    /// A disc is loaded.
+    Loaded(SpinState),
+    /// A burn is in progress; the drive is unavailable until it finishes
+    /// or is interrupted.
+    Burning,
+}
+
+/// Errors from drive operations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriveError {
+    /// Operation requires a disc but the tray is empty.
+    NoDisc,
+    /// Insert attempted while a disc is already loaded.
+    AlreadyLoaded,
+    /// The drive is busy burning.
+    Busy,
+    /// Media-level failure.
+    Media(MediaError),
+}
+
+impl From<MediaError> for DriveError {
+    fn from(e: MediaError) -> Self {
+        DriveError::Media(e)
+    }
+}
+
+impl core::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DriveError::NoDisc => write!(f, "no disc in drive"),
+            DriveError::AlreadyLoaded => write!(f, "drive already holds a disc"),
+            DriveError::Busy => write!(f, "drive is burning"),
+            DriveError::Media(e) => write!(f, "media: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// A timed read result: the payload plus how long retrieving it took.
+#[derive(Clone, Debug)]
+pub struct TimedRead {
+    /// The image payload (cloned; cheap for `Bytes`).
+    pub payload: Payload,
+    /// Time from request to last byte, including mount and seek.
+    pub duration: SimDuration,
+}
+
+/// One optical drive.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OpticalDrive {
+    /// Stable index within the library.
+    pub id: usize,
+    /// Drive/disc matching quality factor in `(0, 1]`; multiplies burn
+    /// speed (§3.3: only well-matched pairs reach top speed).
+    pub speed_factor: f64,
+    /// Burn with write-and-check verification (halves throughput, §4.7).
+    pub check_mode: bool,
+    state: DriveState,
+    disc: Option<Disc>,
+}
+
+impl OpticalDrive {
+    /// Creates an empty drive with a given matching-quality factor.
+    pub fn new(id: usize, speed_factor: f64) -> Self {
+        OpticalDrive {
+            id,
+            speed_factor,
+            check_mode: false,
+            state: DriveState::Empty,
+            disc: None,
+        }
+    }
+
+    /// Returns the drive state.
+    pub fn state(&self) -> DriveState {
+        self.state
+    }
+
+    /// Returns the loaded disc, if any.
+    pub fn disc(&self) -> Option<&Disc> {
+        self.disc.as_ref()
+    }
+
+    /// Returns mutable access to the loaded disc (e.g. for fault
+    /// injection in tests).
+    pub fn disc_mut(&mut self) -> Option<&mut Disc> {
+        self.disc.as_mut()
+    }
+
+    /// Returns true if the drive holds a disc and is not burning.
+    pub fn is_idle_loaded(&self) -> bool {
+        matches!(self.state, DriveState::Loaded(_))
+    }
+
+    /// Inserts a disc; returns the tray open+close time.
+    pub fn insert(&mut self, disc: Disc) -> Result<SimDuration, DriveError> {
+        match self.state {
+            DriveState::Empty => {
+                self.disc = Some(disc);
+                // A freshly inserted disc must spin up before use.
+                self.state = DriveState::Loaded(SpinState::Sleeping);
+                Ok(params::tray_cycle() * 2)
+            }
+            DriveState::Burning => Err(DriveError::Busy),
+            DriveState::Loaded(_) => Err(DriveError::AlreadyLoaded),
+        }
+    }
+
+    /// Ejects the disc; returns it plus the tray time.
+    pub fn eject(&mut self) -> Result<(Disc, SimDuration), DriveError> {
+        match self.state {
+            DriveState::Burning => Err(DriveError::Busy),
+            DriveState::Empty => Err(DriveError::NoDisc),
+            DriveState::Loaded(_) => {
+                let disc = self.disc.take().expect("loaded drive must hold a disc");
+                self.state = DriveState::Empty;
+                Ok((disc, params::tray_cycle() * 2))
+            }
+        }
+    }
+
+    /// Ensures the disc is spinning; returns the mount delay paid
+    /// (≈2 s from sleep, zero when already active; §5.4).
+    pub fn mount(&mut self) -> Result<SimDuration, DriveError> {
+        match self.state {
+            DriveState::Burning => Err(DriveError::Busy),
+            DriveState::Empty => Err(DriveError::NoDisc),
+            DriveState::Loaded(SpinState::Active) => Ok(SimDuration::ZERO),
+            DriveState::Loaded(SpinState::Sleeping) => {
+                self.state = DriveState::Loaded(SpinState::Active);
+                Ok(params::mount_from_sleep())
+            }
+        }
+    }
+
+    /// Spins the drive down (after the idle timeout, driven by the engine).
+    pub fn sleep(&mut self) {
+        if let DriveState::Loaded(_) = self.state {
+            self.state = DriveState::Loaded(SpinState::Sleeping);
+        }
+    }
+
+    /// Returns the sequential read speed of the loaded disc's class.
+    pub fn read_speed(&self) -> Result<Bandwidth, DriveError> {
+        let disc = self.disc.as_ref().ok_or(DriveError::NoDisc)?;
+        Ok(match disc.class() {
+            DiscClass::Bd25 => params::read_speed_bd25(),
+            DiscClass::Bd100 => params::read_speed_bd100(),
+            // Scaled test discs read like BD25s.
+            DiscClass::Custom { .. } => params::read_speed_bd25(),
+        })
+    }
+
+    /// Reads one image from the loaded disc: mount (if sleeping) + seek +
+    /// sequential transfer.
+    pub fn read_image(&mut self, image_id: u64) -> Result<TimedRead, DriveError> {
+        if self.state == DriveState::Burning {
+            return Err(DriveError::Busy);
+        }
+        let mount = self.mount()?;
+        let speed = self.read_speed()?;
+        let disc = self.disc.as_ref().expect("mount ensured a disc");
+        let payload = disc.read_image(image_id)?.clone();
+        let duration = mount + params::seek_time() + speed.time_for(payload.len());
+        Ok(TimedRead { payload, duration })
+    }
+
+    /// Plans a burn of `bytes` onto the loaded disc without committing it.
+    pub fn plan_burn(&self, bytes: u64, rng: &mut SimRng) -> Result<BurnPlan, DriveError> {
+        let disc = self.disc.as_ref().ok_or(DriveError::NoDisc)?;
+        let curve = SpeedCurve::for_media(disc.class(), disc.kind());
+        Ok(BurnPlan::plan(
+            curve,
+            bytes,
+            self.speed_factor,
+            self.check_mode,
+            rng,
+        ))
+    }
+
+    /// Marks the drive as burning; reads and ejects fail until
+    /// [`OpticalDrive::finish_burn`] or [`OpticalDrive::interrupt_burn`].
+    pub fn begin_burn(&mut self) -> Result<(), DriveError> {
+        match self.state {
+            DriveState::Burning => Err(DriveError::Busy),
+            DriveState::Empty => Err(DriveError::NoDisc),
+            DriveState::Loaded(_) => {
+                self.state = DriveState::Burning;
+                Ok(())
+            }
+        }
+    }
+
+    /// Completes a burn, committing the image to the disc in
+    /// write-all-once mode.
+    pub fn finish_burn(&mut self, image_id: u64, payload: Payload) -> Result<(), DriveError> {
+        if self.state != DriveState::Burning {
+            return Err(DriveError::NoDisc);
+        }
+        let disc = self.disc.as_mut().ok_or(DriveError::NoDisc)?;
+        disc.burn_all_once(image_id, payload)?;
+        self.state = DriveState::Loaded(SpinState::Active);
+        Ok(())
+    }
+
+    /// Completes a burn as an appended pseudo-overwrite track (used by the
+    /// interrupt-and-resume policy of §4.8).
+    pub fn finish_burn_track(&mut self, image_id: u64, payload: Payload) -> Result<(), DriveError> {
+        if self.state != DriveState::Burning {
+            return Err(DriveError::NoDisc);
+        }
+        let disc = self.disc.as_mut().ok_or(DriveError::NoDisc)?;
+        disc.burn_track(image_id, payload)?;
+        self.state = DriveState::Loaded(SpinState::Active);
+        Ok(())
+    }
+
+    /// Interrupts an in-progress burn (the aggressive read policy of
+    /// §4.8), leaving the disc open for an appending re-burn. The partial
+    /// burn is committed as a truncated pseudo-overwrite track carrying
+    /// `burned_bytes` of the image.
+    pub fn interrupt_burn(&mut self, image_id: u64, burned_bytes: u64) -> Result<(), DriveError> {
+        if self.state != DriveState::Burning {
+            return Err(DriveError::NoDisc);
+        }
+        let disc = self.disc.as_mut().ok_or(DriveError::NoDisc)?;
+        if burned_bytes > 0 {
+            // Partial data occupies a truncated track; OLFS re-burns the
+            // full image afterwards.
+            disc.burn_track(image_id, Payload::synthetic(burned_bytes, 0))?;
+        }
+        self.state = DriveState::Loaded(SpinState::Active);
+        Ok(())
+    }
+
+    /// Instantaneous power draw by state (§5.1: 8 W peak per drive).
+    pub fn power_watts(&self) -> f64 {
+        match self.state {
+            DriveState::Empty => params::DRIVE_SLEEP_WATTS,
+            DriveState::Loaded(SpinState::Sleeping) => params::DRIVE_SLEEP_WATTS,
+            DriveState::Loaded(SpinState::Active) => params::DRIVE_IDLE_WATTS,
+            DriveState::Burning => params::DRIVE_PEAK_WATTS,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MediaKind;
+
+    fn small_disc(id: u64) -> Disc {
+        Disc::blank(
+            id,
+            DiscClass::Custom {
+                capacity: 1024 * params::SECTOR_BYTES,
+            },
+            MediaKind::Worm,
+        )
+    }
+
+    fn burned_disc(id: u64, image_id: u64, bytes: usize) -> Disc {
+        let mut d = small_disc(id);
+        d.burn_all_once(image_id, Payload::inline(vec![0xAB; bytes]))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn insert_eject_cycle() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        assert_eq!(dr.state(), DriveState::Empty);
+        let t = dr.insert(small_disc(1)).unwrap();
+        assert_eq!(t, params::tray_cycle() * 2);
+        assert_eq!(dr.state(), DriveState::Loaded(SpinState::Sleeping));
+        assert!(matches!(
+            dr.insert(small_disc(2)).unwrap_err(),
+            DriveError::AlreadyLoaded
+        ));
+        let (disc, _) = dr.eject().unwrap();
+        assert_eq!(disc.id, 1);
+        assert_eq!(dr.state(), DriveState::Empty);
+        assert!(matches!(dr.eject().unwrap_err(), DriveError::NoDisc));
+    }
+
+    #[test]
+    fn mount_pays_sleep_penalty_once() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        dr.insert(small_disc(1)).unwrap();
+        assert_eq!(dr.mount().unwrap(), params::mount_from_sleep());
+        assert_eq!(dr.mount().unwrap(), SimDuration::ZERO);
+        dr.sleep();
+        assert_eq!(dr.mount().unwrap(), params::mount_from_sleep());
+    }
+
+    #[test]
+    fn read_includes_mount_seek_and_transfer() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        let bytes = 24_100_000; // Exactly one second of BD25 transfer.
+        let mut disc = Disc::blank(
+            1,
+            DiscClass::Custom {
+                capacity: 32 * 1024 * 1024,
+            },
+            MediaKind::Worm,
+        );
+        disc.burn_all_once(5, Payload::synthetic(bytes, 0)).unwrap();
+        dr.insert(disc).unwrap();
+        let r = dr.read_image(5).unwrap();
+        let expected = params::mount_from_sleep()
+            + params::seek_time()
+            + params::read_speed_bd25().time_for(bytes);
+        assert_eq!(r.duration, expected);
+        // Second read: no mount penalty.
+        let r2 = dr.read_image(5).unwrap();
+        assert_eq!(
+            r2.duration,
+            params::seek_time() + params::read_speed_bd25().time_for(bytes)
+        );
+    }
+
+    #[test]
+    fn read_propagates_media_errors() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        dr.insert(burned_disc(1, 7, 8192)).unwrap();
+        assert!(matches!(
+            dr.read_image(99).unwrap_err(),
+            DriveError::Media(MediaError::NoSuchImage(99))
+        ));
+        dr.disc_mut().unwrap().corrupt_sector(0);
+        assert!(matches!(
+            dr.read_image(7).unwrap_err(),
+            DriveError::Media(MediaError::SectorErrors { .. })
+        ));
+    }
+
+    #[test]
+    fn burn_lifecycle_blocks_concurrent_ops() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        dr.insert(small_disc(1)).unwrap();
+        dr.begin_burn().unwrap();
+        assert_eq!(dr.state(), DriveState::Burning);
+        assert!(matches!(dr.read_image(1).unwrap_err(), DriveError::Busy));
+        assert!(matches!(dr.eject().unwrap_err(), DriveError::Busy));
+        assert!(matches!(dr.begin_burn().unwrap_err(), DriveError::Busy));
+        dr.finish_burn(3, Payload::inline(vec![1u8; 2048])).unwrap();
+        assert_eq!(dr.state(), DriveState::Loaded(SpinState::Active));
+        assert!(dr.disc().unwrap().is_finalized());
+        let r = dr.read_image(3).unwrap();
+        assert_eq!(r.payload.len(), 2048);
+    }
+
+    #[test]
+    fn interrupted_burn_leaves_disc_open_for_append() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        let cap = 3 * params::TRACK_METADATA_BYTES;
+        dr.insert(Disc::blank(
+            1,
+            DiscClass::Custom { capacity: cap },
+            MediaKind::Worm,
+        ))
+        .unwrap();
+        dr.begin_burn().unwrap();
+        dr.interrupt_burn(9, 4096).unwrap();
+        let disc = dr.disc().unwrap();
+        assert!(!disc.is_finalized());
+        assert_eq!(disc.tracks().len(), 1);
+        // Resume by appending the full image as a fresh track.
+        dr.begin_burn().unwrap();
+        dr.finish_burn_track(9, Payload::synthetic(8192, 0))
+            .unwrap();
+        assert_eq!(dr.disc().unwrap().tracks().len(), 2);
+    }
+
+    #[test]
+    fn burn_plan_uses_disc_class_and_factor() {
+        let mut dr = OpticalDrive::new(0, 0.5);
+        dr.insert(small_disc(1)).unwrap();
+        let mut rng = SimRng::seed_from(1);
+        let plan = dr.plan_burn(1 << 20, &mut rng).unwrap();
+        assert!(plan.total > SimDuration::ZERO);
+        let mut fast = OpticalDrive::new(1, 1.0);
+        fast.insert(small_disc(2)).unwrap();
+        let plan_fast = fast.plan_burn(1 << 20, &mut rng).unwrap();
+        assert!(plan.total > plan_fast.total);
+    }
+
+    #[test]
+    fn power_follows_state() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        assert_eq!(dr.power_watts(), params::DRIVE_SLEEP_WATTS);
+        dr.insert(small_disc(1)).unwrap();
+        assert_eq!(dr.power_watts(), params::DRIVE_SLEEP_WATTS);
+        dr.mount().unwrap();
+        assert_eq!(dr.power_watts(), params::DRIVE_IDLE_WATTS);
+        dr.begin_burn().unwrap();
+        assert_eq!(dr.power_watts(), params::DRIVE_PEAK_WATTS);
+    }
+}

@@ -1,0 +1,189 @@
+//! Sensor feedback and closed-loop positioning.
+//!
+//! §3.3: "ROS monitors all the sensors to continuously track the current
+//! mechanical states and to calibrate the current operations. For instance,
+//! ROS partitions discs into drives at the 0.05mm precision using a set of
+//! range sensors." This module models that feedback loop: a noisy range
+//! sensor plus a proportional controller that iterates until the measured
+//! error is within tolerance.
+
+use crate::params;
+use ros_sim::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// A range sensor with Gaussian-ish (triangular) measurement noise.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RangeSensor {
+    /// 1-sigma-equivalent measurement noise, in millimetres.
+    pub noise_mm: f64,
+}
+
+impl Default for RangeSensor {
+    fn default() -> Self {
+        // An order of magnitude finer than the required placement
+        // tolerance, as any usable sensor must be.
+        RangeSensor { noise_mm: 0.005 }
+    }
+}
+
+impl RangeSensor {
+    /// Measures a true position, adding bounded symmetric noise.
+    pub fn measure(&self, true_mm: f64, rng: &mut SimRng) -> f64 {
+        // Sum of two uniforms gives a triangular distribution in
+        // [-noise, +noise] with most mass near zero.
+        let n = (rng.unit_f64() + rng.unit_f64() - 1.0) * self.noise_mm;
+        true_mm + n
+    }
+}
+
+/// Result of a completed positioning feedback loop.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SettleReport {
+    /// Number of measure-adjust iterations performed.
+    pub iterations: u32,
+    /// Residual true error after settling, in millimetres.
+    pub residual_mm: f64,
+    /// Total time spent settling.
+    pub elapsed: SimDuration,
+}
+
+/// A proportional feedback controller positioning an actuator to a target
+/// within [`params::PLACEMENT_TOLERANCE_MM`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FeedbackLoop {
+    /// The sensor closing the loop.
+    pub sensor: RangeSensor,
+    /// Proportional gain per iteration (fraction of measured error
+    /// corrected each step).
+    pub gain: f64,
+    /// Time per measure-adjust iteration.
+    pub step_time: SimDuration,
+    /// Abort bound so that a mis-tuned loop cannot hang the machine.
+    pub max_iterations: u32,
+}
+
+impl Default for FeedbackLoop {
+    fn default() -> Self {
+        FeedbackLoop {
+            sensor: RangeSensor::default(),
+            gain: 0.8,
+            step_time: SimDuration::from_millis(20),
+            max_iterations: 64,
+        }
+    }
+}
+
+/// Error from a feedback loop that failed to converge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SettleTimeout {
+    /// The residual error when the loop gave up, in millimetres.
+    pub residual_mm: f64,
+}
+
+impl core::fmt::Display for SettleTimeout {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "feedback loop failed to settle (residual {:.3} mm)",
+            self.residual_mm
+        )
+    }
+}
+
+impl std::error::Error for SettleTimeout {}
+
+impl FeedbackLoop {
+    /// Drives an actuator from `initial_error_mm` until the *measured*
+    /// error is within the placement tolerance.
+    ///
+    /// Returns how long the settling took; the PLC adds this to each disc
+    /// separation step.
+    pub fn settle(
+        &self,
+        initial_error_mm: f64,
+        rng: &mut SimRng,
+    ) -> Result<SettleReport, SettleTimeout> {
+        let tol = params::PLACEMENT_TOLERANCE_MM;
+        let mut error = initial_error_mm;
+        let mut iterations = 0u32;
+        loop {
+            let measured = self.sensor.measure(error, rng);
+            if measured.abs() <= tol && error.abs() <= tol * 1.5 {
+                return Ok(SettleReport {
+                    iterations,
+                    residual_mm: error,
+                    elapsed: self.step_time * iterations as u64,
+                });
+            }
+            if iterations >= self.max_iterations {
+                return Err(SettleTimeout { residual_mm: error });
+            }
+            // Correct the measured error by the proportional gain.
+            error -= self.gain * measured;
+            iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_noise_is_bounded() {
+        let s = RangeSensor { noise_mm: 0.01 };
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..1000 {
+            let m = s.measure(5.0, &mut rng);
+            assert!((m - 5.0).abs() <= 0.01 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn loop_settles_from_large_error() {
+        let fb = FeedbackLoop::default();
+        let mut rng = SimRng::seed_from(2);
+        let rep = fb.settle(2.0, &mut rng).expect("must settle");
+        assert!(rep.residual_mm.abs() <= params::PLACEMENT_TOLERANCE_MM * 1.5);
+        assert!(rep.iterations > 0);
+        assert_eq!(rep.elapsed, fb.step_time * rep.iterations as u64);
+    }
+
+    #[test]
+    fn already_in_tolerance_is_instant() {
+        let fb = FeedbackLoop::default();
+        let mut rng = SimRng::seed_from(3);
+        let rep = fb.settle(0.0, &mut rng).expect("must settle");
+        assert_eq!(rep.iterations, 0);
+        assert_eq!(rep.elapsed, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_gain_times_out() {
+        let fb = FeedbackLoop {
+            gain: 0.0,
+            ..FeedbackLoop::default()
+        };
+        let mut rng = SimRng::seed_from(4);
+        let err = fb.settle(1.0, &mut rng).unwrap_err();
+        assert!(err.residual_mm.abs() > params::PLACEMENT_TOLERANCE_MM);
+    }
+
+    #[test]
+    fn settling_is_deterministic_per_seed() {
+        let fb = FeedbackLoop::default();
+        let a = fb.settle(1.5, &mut SimRng::seed_from(9)).unwrap();
+        let b = fb.settle(1.5, &mut SimRng::seed_from(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn convergence_over_many_seeds() {
+        let fb = FeedbackLoop::default();
+        for seed in 0..200 {
+            let mut rng = SimRng::seed_from(seed);
+            let rep = fb.settle(3.0, &mut rng).expect("loop must converge");
+            assert!(rep.iterations <= fb.max_iterations);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The Read Cache (RC) — LRU over whole disc images (§4.1).
+//!
+//! "Considering that recently and frequently read data are likely to be
+//! used again according to data life cycles, Read Cache (RC) retains some
+//! recently used disc images according to a LRU algorithms... The current
+//! design of OLFS only considers a disc image as a cache unit,
+//! sufficiently exploiting spatial locality."
+//!
+//! Unburned images are *pinned*: they are the only copy of their data and
+//! must never be evicted before burning completes.
+
+use crate::ids::ImageId;
+use std::collections::{HashMap, VecDeque};
+
+/// Eviction-policy statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the image cached.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Images evicted.
+    pub evictions: u64,
+}
+
+/// An LRU cache of disc-image residency (the bytes live in the image
+/// store; the cache tracks *which* images stay on the disk tier).
+#[derive(Clone, Debug)]
+pub struct ReadCache {
+    capacity: usize,
+    /// LRU order: front = coldest.
+    order: VecDeque<ImageId>,
+    /// Pin counts; pinned images are never evicted.
+    pins: HashMap<ImageId, u32>,
+    stats: CacheStats,
+}
+
+impl ReadCache {
+    /// Creates a cache holding up to `capacity` images.
+    pub fn new(capacity: usize) -> Self {
+        ReadCache {
+            capacity: capacity.max(1),
+            order: VecDeque::new(),
+            pins: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Returns the capacity in images.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns the number of resident images.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns true when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Returns true if the image is resident.
+    pub fn contains(&self, id: ImageId) -> bool {
+        self.order.contains(&id)
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Records a lookup; on a hit the image becomes most-recently-used.
+    pub fn touch(&mut self, id: ImageId) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            self.order.push_back(id);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts an image as most-recently-used, returning any images that
+    /// must be dropped from the disk tier to make room.
+    pub fn insert(&mut self, id: ImageId) -> Vec<ImageId> {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(id);
+        let mut evicted = Vec::new();
+        while self.order.len() > self.capacity {
+            // Evict the coldest unpinned image.
+            let victim = self.order.iter().position(|x| !self.pins.contains_key(x));
+            match victim {
+                Some(pos) if self.order[pos] != id => {
+                    let v = self.order.remove(pos).expect("position valid");
+                    self.stats.evictions += 1;
+                    evicted.push(v);
+                }
+                // Everything (else) is pinned: tolerate overflow rather
+                // than evict a sole copy.
+                _ => break,
+            }
+        }
+        evicted
+    }
+
+    /// Removes an image (e.g. the disk copy was dropped for space).
+    pub fn remove(&mut self, id: ImageId) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pins an image against eviction (unburned images).
+    pub fn pin(&mut self, id: ImageId) {
+        *self.pins.entry(id).or_insert(0) += 1;
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, id: ImageId) {
+        if let Some(count) = self.pins.get_mut(&id) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&id);
+            }
+        }
+    }
+
+    /// Returns the images in LRU order (coldest first).
+    pub fn lru_order(&self) -> impl Iterator<Item = ImageId> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<ImageId> {
+        v.iter().copied().map(ImageId).collect()
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ReadCache::new(3);
+        assert!(c.insert(ImageId(1)).is_empty());
+        assert!(c.insert(ImageId(2)).is_empty());
+        assert!(c.insert(ImageId(3)).is_empty());
+        // Touch 1 so 2 becomes coldest.
+        assert!(c.touch(ImageId(1)));
+        let evicted = c.insert(ImageId(4));
+        assert_eq!(evicted, ids(&[2]));
+        assert!(c.contains(ImageId(1)));
+        assert!(!c.contains(ImageId(2)));
+    }
+
+    #[test]
+    fn pinned_images_survive() {
+        let mut c = ReadCache::new(2);
+        c.insert(ImageId(1));
+        c.pin(ImageId(1));
+        c.insert(ImageId(2));
+        let evicted = c.insert(ImageId(3));
+        // 1 is pinned; 2 must go instead.
+        assert_eq!(evicted, ids(&[2]));
+        assert!(c.contains(ImageId(1)));
+        // Unpin and it becomes evictable.
+        c.unpin(ImageId(1));
+        let evicted = c.insert(ImageId(4));
+        assert_eq!(evicted, ids(&[1]));
+    }
+
+    #[test]
+    fn all_pinned_overflows_gracefully() {
+        let mut c = ReadCache::new(2);
+        for i in 1..=3 {
+            c.insert(ImageId(i));
+            c.pin(ImageId(i));
+        }
+        assert_eq!(c.len(), 3, "overflow tolerated when all pinned");
+    }
+
+    #[test]
+    fn reinsert_refreshes_position() {
+        let mut c = ReadCache::new(2);
+        c.insert(ImageId(1));
+        c.insert(ImageId(2));
+        c.insert(ImageId(1)); // refresh
+        let evicted = c.insert(ImageId(3));
+        assert_eq!(evicted, ids(&[2]));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = ReadCache::new(2);
+        c.insert(ImageId(1));
+        assert!(c.touch(ImageId(1)));
+        assert!(!c.touch(ImageId(9)));
+        c.insert(ImageId(2));
+        c.insert(ImageId(3));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.evictions, 1);
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut c = ReadCache::new(2);
+        assert!(c.is_empty());
+        c.insert(ImageId(5));
+        assert!(c.remove(ImageId(5)));
+        assert!(!c.remove(ImageId(5)));
+        assert!(c.is_empty());
+        // Double pin requires double unpin.
+        c.insert(ImageId(7));
+        c.pin(ImageId(7));
+        c.pin(ImageId(7));
+        c.unpin(ImageId(7));
+        c.insert(ImageId(8));
+        let evicted = c.insert(ImageId(9));
+        assert!(!evicted.contains(&ImageId(7)));
+    }
+}

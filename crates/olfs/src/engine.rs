@@ -1,0 +1,2511 @@
+//! The OLFS engine: POSIX-style facade, tiered data path, task scheduling.
+//!
+//! `Ros` owns every subsystem — metadata volume, buckets, image store,
+//! disk volumes, drive bays, the mechanical scheduler and the physical
+//! disc registry — and drives them on a single discrete-event clock.
+//!
+//! Foreground calls ([`Ros::write_file`], [`Ros::read_file`], ...) walk
+//! the paper's internal-operation sequences (Figure 7), charge simulated
+//! time for every device touched, and advance the clock, delivering any
+//! background events (parity completion, burn completion) that fall due
+//! on the way. Background work — delayed parity generation (§4.7), burn
+//! task management (§4.1), read-cache eviction — runs entirely off the
+//! event queue, so writes return in milliseconds while hour-long burns
+//! proceed "asynchronously" exactly as the paper describes.
+
+use crate::cache::ReadCache;
+use crate::config::{BusyReadPolicy, Redundancy, RosConfig};
+use crate::dim::{DaState, DiscLocation, DiscRegistry, GroupState, ImageStore};
+use crate::error::OlfsError;
+use crate::ids::{ArrayId, DiscId, ImageId};
+use crate::index::LocTag;
+use crate::mv::MetadataVolume;
+use crate::params;
+use crate::redundancy;
+use crate::trace::OpTrace;
+use crate::wbm::{link_file_name, BucketManager, LinkFile, Placement};
+use bytes::Bytes;
+use ros_disk::volume::{VolumeId, VolumeManager};
+use ros_disk::RaidArray;
+use ros_drive::media::Payload;
+use ros_drive::DriveSet;
+use ros_mech::plc::Plc;
+use ros_mech::{MechScheduler, SlotAddress};
+use ros_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use ros_udf::UdfPath;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Background events on the engine clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Delayed parity generation finished for a group.
+    ParityDone {
+        /// The completed group.
+        group: ArrayId,
+    },
+    /// An array burn finished in a bay.
+    BurnDone {
+        /// The burned group.
+        group: ArrayId,
+        /// The bay that held it.
+        bay: usize,
+    },
+    /// Periodic idle-time scrub (§4.7).
+    ScrubTick,
+    /// Background array prefetch finished (spatial-locality refinement
+    /// of the read cache, §4.1).
+    PrefetchDone {
+        /// The bay whose loaded array was being prefetched.
+        bay: usize,
+        /// Images to pull into the cache.
+        images: Vec<ImageId>,
+    },
+}
+
+/// Where a read was ultimately served from (Table 1's six rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadSource {
+    /// Data still staged in an open bucket on the disk buffer.
+    DiskBucket,
+    /// A sealed disc image resident on the disk buffer / read cache.
+    DiskImage,
+    /// A disc already sitting in a drive.
+    DiscInDrive,
+    /// Fetched from the roller into a free drive bay.
+    RollerFreeDrives,
+    /// Fetched after first unloading a resident (idle) array.
+    RollerUnloadFirst,
+    /// Fetched after waiting for (or interrupting) a burn.
+    RollerDrivesBusy,
+}
+
+/// Result of a file write.
+#[derive(Clone, Debug)]
+pub struct WriteReport {
+    /// Version number assigned.
+    pub version: u32,
+    /// Images the data went to (more than one if split).
+    pub segments: Vec<ImageId>,
+    /// End-to-end latency.
+    pub latency: SimDuration,
+    /// Internal-operation trace (Figure 7).
+    pub trace: OpTrace,
+}
+
+/// Result of a file read.
+#[derive(Clone, Debug)]
+pub struct ReadReport {
+    /// The file contents.
+    pub data: Bytes,
+    /// Version served.
+    pub version: u32,
+    /// End-to-end latency to the last byte.
+    pub latency: SimDuration,
+    /// Latency to the first byte (≈2 ms when the forepart answered,
+    /// §4.8).
+    pub first_byte_latency: SimDuration,
+    /// Where the data came from.
+    pub source: ReadSource,
+    /// Internal-operation trace.
+    pub trace: OpTrace,
+}
+
+/// Engine activity counters (maintenance interface telemetry).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Files written.
+    pub writes: u64,
+    /// Files read.
+    pub reads: u64,
+    /// Files updated (regenerating updates, §4.6).
+    pub updates: u64,
+    /// Buckets sealed into images.
+    pub buckets_sealed: u64,
+    /// Files split across images.
+    pub splits: u64,
+    /// Parity generations completed.
+    pub parity_runs: u64,
+    /// Array burns completed.
+    pub burns: u64,
+    /// Mechanical fetches performed for reads.
+    pub fetches: u64,
+    /// Burns interrupted to serve reads (§4.8).
+    pub burn_interrupts: u64,
+    /// Damaged images repaired via array redundancy (§4.7).
+    pub repairs: u64,
+}
+
+#[derive(Clone, Debug)]
+struct BurningInfo {
+    group: ArrayId,
+    until: SimTime,
+    sizes: Vec<u64>,
+    append: bool,
+}
+
+/// The ROS system.
+pub struct Ros {
+    pub(crate) cfg: RosConfig,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) rng: SimRng,
+    pub(crate) mech: MechScheduler,
+    pub(crate) bays: Vec<DriveSet>,
+    pub(crate) vm: VolumeManager,
+    pub(crate) vol_mv: VolumeId,
+    pub(crate) vol_buffer: VolumeId,
+    pub(crate) vol_aux: VolumeId,
+    pub(crate) mv: MetadataVolume,
+    pub(crate) store: ImageStore,
+    pub(crate) registry: DiscRegistry,
+    pub(crate) wbm: BucketManager,
+    pub(crate) cache: ReadCache,
+    pub(crate) counters: Counters,
+    pub(crate) burn_queue: VecDeque<ArrayId>,
+    burning: HashMap<usize, BurningInfo>,
+    /// Bays reserved by an in-flight foreground fetch; the burn starter
+    /// must not grab them.
+    reserved_bays: HashSet<usize>,
+    /// Groups whose next burn must append tracks (post-interrupt).
+    append_groups: HashSet<ArrayId>,
+    /// Which paths each image carries (LocTag promotion & recovery).
+    pub(crate) image_paths: HashMap<ImageId, Vec<UdfPath>>,
+    /// Per-(bay, drive) VFS-mount state (§5.4's 220 ms charge).
+    vfs_mounted: HashMap<(usize, usize), bool>,
+    /// In-place-update bookkeeping: (path, version) -> stored path.
+    pub(crate) in_place: HashMap<(String, u32), UdfPath>,
+    /// Result of the most recent (scheduled or manual) scrub pass.
+    pub(crate) last_scrub: Option<crate::maintenance::ScrubReport>,
+    /// Last access instant per (bay, drive); drives spin down after
+    /// `ros_drive::params::sleep_after_idle()` (§5.4).
+    drive_last_used: HashMap<(usize, usize), SimTime>,
+    /// Versions whose bytes were physically overwritten by a later
+    /// in-place bucket update (§4.6) and can no longer be read.
+    pub(crate) overwritten: HashSet<(String, u32)>,
+}
+
+impl Ros {
+    /// Builds a ROS system from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`RosConfig::validate`].
+    pub fn new(cfg: RosConfig) -> Self {
+        cfg.validate().expect("invalid RosConfig");
+        let mut vm = VolumeManager::new();
+        let vol_mv = vm.add_volume("mv", RaidArray::prototype_metadata());
+        let vol_buffer = vm.add_volume("buffer", RaidArray::prototype_data());
+        let vol_aux = vm.add_volume("aux", RaidArray::prototype_data());
+        let mech = MechScheduler::new(Plc::new_full(cfg.layout), cfg.drive_bays);
+        let bays = (0..cfg.drive_bays)
+            .map(|_| {
+                let mut set = DriveSet::new(cfg.drives_per_bay);
+                if cfg.write_and_check {
+                    for d in set.iter_mut() {
+                        d.check_mode = true;
+                    }
+                }
+                set
+            })
+            .collect();
+        let mut store = ImageStore::new(&cfg.layout);
+        let bucket_ids = (0..cfg.open_buckets)
+            .map(|_| store.allocate_image_id())
+            .collect();
+        let wbm = BucketManager::new(bucket_ids, cfg.disc_class.capacity());
+        let registry = DiscRegistry::new(&cfg.layout, cfg.disc_class);
+        let cache = ReadCache::new(cfg.read_cache_images);
+        let rng = SimRng::seed_from(cfg.seed);
+        let mut queue = EventQueue::new();
+        if let Some(interval) = cfg.scrub_interval {
+            queue.schedule_in(interval, Event::ScrubTick);
+        }
+        Ros {
+            queue,
+            rng,
+            mech,
+            bays,
+            vm,
+            vol_mv,
+            vol_buffer,
+            vol_aux,
+            mv: MetadataVolume::new(),
+            store,
+            registry,
+            wbm,
+            cache,
+            counters: Counters::default(),
+            burn_queue: VecDeque::new(),
+            burning: HashMap::new(),
+            reserved_bays: HashSet::new(),
+            append_groups: HashSet::new(),
+            image_paths: HashMap::new(),
+            vfs_mounted: HashMap::new(),
+            in_place: HashMap::new(),
+            last_scrub: None,
+            drive_last_used: HashMap::new(),
+            overwritten: HashSet::new(),
+            cfg,
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &RosConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Activity counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Read-cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Advances simulated time, delivering due background events.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.queue.now() + d;
+        self.run_until(deadline);
+    }
+
+    /// Advances simulated time to an absolute instant.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.queue.pop_until(deadline) {
+            self.handle(ev.payload);
+        }
+    }
+
+    /// Runs until no background *work* remains (burns, parity, queued
+    /// groups) or `limit` elapses. Periodic scrub ticks do not count as
+    /// work. Returns true if fully quiescent.
+    pub fn run_until_quiescent(&mut self, limit: SimDuration) -> bool {
+        let deadline = self.queue.now() + limit;
+        loop {
+            self.try_start_burns();
+            if !self.has_pending_work() {
+                break;
+            }
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let ev = self.queue.pop().expect("peeked");
+                    self.handle(ev.payload);
+                }
+                _ => break,
+            }
+        }
+        !self.has_pending_work()
+    }
+
+    /// True while burns are in flight or queued, or parity generation is
+    /// outstanding.
+    fn has_pending_work(&self) -> bool {
+        !self.burning.is_empty()
+            || !self.burn_queue.is_empty()
+            || !self
+                .store
+                .groups_in_state(GroupState::ParityPending)
+                .is_empty()
+            || !self
+                .store
+                .groups_in_state(GroupState::ReadyToBurn)
+                .is_empty()
+    }
+
+    fn advance(&mut self, d: SimDuration) {
+        let deadline = self.queue.now() + d;
+        self.run_until(deadline);
+    }
+
+    // ------------------------------------------------------------------
+    // Write path (PBW, §4.3-4.6)
+    // ------------------------------------------------------------------
+
+    /// Writes a new file, or a new *version* if the path already exists
+    /// (the regenerating update of §4.6).
+    pub fn write_file(
+        &mut self,
+        path: &UdfPath,
+        data: impl Into<Bytes>,
+    ) -> Result<WriteReport, OlfsError> {
+        let data = data.into();
+        if path.is_root() {
+            return Err(OlfsError::Invalid("cannot write to /".into()));
+        }
+        let mut trace = OpTrace::new();
+
+        // stat: look up the index file (MV random read, direct I/O).
+        let mv_read = self.vm.random_read_time(self.vol_mv, 1024)?;
+        let d = trace.step("stat", mv_read);
+        self.advance(d);
+        let exists = self.mv.is_file(path);
+
+        if exists {
+            return self.update_file(path, data, trace);
+        }
+
+        // mknod: create the index file and the bucket file entry.
+        let mv_write = self.vm.random_read_time(self.vol_mv, 1024)?;
+        let d = trace.step("mknod", mv_write);
+        self.advance(d);
+        self.mv.create(path)?;
+
+        // stat again (the VFS re-validates after create, §5.3).
+        let d = trace.step("stat", mv_read);
+        self.advance(d);
+
+        // write: place the data into buckets.
+        let (segments, seg_sizes, write_time) = self.place_data(path, &data)?;
+        let d = trace.step("write", write_time);
+        self.advance(d);
+
+        // close/release: update the index file.
+        let d = trace.step("close", mv_write);
+        self.advance(d);
+        let now = self.queue.now().as_nanos();
+        let forepart = self.make_forepart(&data);
+        let idx = self.mv.get_mut(path).expect("just created");
+        let version = idx.push_version_sized(
+            LocTag::Bucket,
+            data.len() as u64,
+            now,
+            segments.clone(),
+            seg_sizes,
+        );
+        idx.set_forepart(forepart);
+
+        for seg in &segments {
+            self.image_paths.entry(*seg).or_default().push(path.clone());
+        }
+        self.counters.writes += 1;
+        if segments.len() > 1 {
+            self.counters.splits += 1;
+        }
+        self.try_start_burns();
+        Ok(WriteReport {
+            version,
+            segments,
+            latency: trace.total(),
+            trace,
+        })
+    }
+
+    /// Regenerating update (§4.6).
+    fn update_file(
+        &mut self,
+        path: &UdfPath,
+        data: Bytes,
+        mut trace: OpTrace,
+    ) -> Result<WriteReport, OlfsError> {
+        let mv_write = self.vm.random_read_time(self.vol_mv, 1024)?;
+        let latest = self
+            .mv
+            .get(path)
+            .and_then(|i| i.latest().cloned())
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+
+        // In an open bucket with enough space: simple in-place update.
+        let in_bucket = latest
+            .segs
+            .first()
+            .and_then(|&img| self.wbm.locate_image(img))
+            .filter(|_| latest.segs.len() == 1);
+        if let Some(bi) = in_bucket {
+            // The stored path of the latest version inside the bucket.
+            let stored = self
+                .resolve_stored_paths(path, latest.ver)
+                .into_iter()
+                .find(|p| {
+                    self.wbm
+                        .bucket(bi)
+                        .map(|b| b.tree().is_file(p))
+                        .unwrap_or(false)
+                });
+            if let Some(stored) = stored {
+                let fits = {
+                    let b = self.wbm.bucket(bi).expect("located");
+                    let growth = ros_udf::blocks_for(data.len() as u64)
+                        .saturating_sub(ros_udf::blocks_for(latest.size))
+                        * ros_udf::BLOCK_SIZE;
+                    growth <= b.free_bytes()
+                };
+                if fits {
+                    let io = params::bucket_write_device()
+                        + self.vm.write_time(self.vol_buffer, data.len() as u64)?;
+                    let d = trace.step("write", io);
+                    self.advance(d);
+                    let now = self.queue.now().as_nanos();
+                    self.wbm
+                        .bucket_mut(bi)
+                        .expect("located")
+                        .update(&stored, data.clone(), now)?;
+                    let d = trace.step("close", mv_write);
+                    self.advance(d);
+                    let forepart = self.make_forepart(&data);
+                    let idx = self.mv.get_mut(path).expect("exists");
+                    let version = idx.push_version(
+                        LocTag::Bucket,
+                        data.len() as u64,
+                        now,
+                        latest.segs.clone(),
+                    );
+                    idx.set_forepart(forepart);
+                    // Record that this version lives at the previous
+                    // version's stored path, whose old bytes are gone.
+                    self.in_place_updates(path, version, &stored);
+                    self.overwritten.insert((path.to_string(), latest.ver));
+                    self.counters.updates += 1;
+                    return Ok(WriteReport {
+                        version,
+                        segments: latest.segs,
+                        latency: trace.total(),
+                        trace,
+                    });
+                }
+            }
+        }
+
+        // Otherwise: regenerate — a fresh copy under a versioned shadow
+        // path in current buckets (the old image keeps the old bytes).
+        let next_ver = self
+            .mv
+            .get(path)
+            .and_then(|i| i.latest())
+            .map(|e| e.ver + 1)
+            .unwrap_or(1);
+        let shadow = Self::shadow_path(path, next_ver);
+        let (segments, seg_sizes, write_time) = self.place_data(&shadow, &data)?;
+        let d = trace.step("write", write_time);
+        self.advance(d);
+        let d = trace.step("close", mv_write);
+        self.advance(d);
+        let now = self.queue.now().as_nanos();
+        let forepart = self.make_forepart(&data);
+        let idx = self.mv.get_mut(path).expect("exists");
+        let version = idx.push_version_sized(
+            LocTag::Bucket,
+            data.len() as u64,
+            now,
+            segments.clone(),
+            seg_sizes,
+        );
+        idx.set_forepart(forepart);
+        for seg in &segments {
+            self.image_paths
+                .entry(*seg)
+                .or_default()
+                .push(shadow.clone());
+        }
+        self.counters.updates += 1;
+        self.try_start_burns();
+        Ok(WriteReport {
+            version,
+            segments,
+            latency: trace.total(),
+            trace,
+        })
+    }
+
+    /// The shadow path regenerated version `ver` of `path` is stored
+    /// under inside images.
+    fn shadow_path(path: &UdfPath, ver: u32) -> UdfPath {
+        let parent = path.parent().expect("non-root");
+        let name = path.name().expect("non-root");
+        parent.join(&format!(".rosv{ver}-{name}"))
+    }
+
+    /// Remembers that `version` of `path` was an in-place update stored
+    /// at `stored` (so later reads resolve correctly).
+    fn in_place_updates(&mut self, path: &UdfPath, version: u32, stored: &UdfPath) {
+        self.in_place
+            .insert((path.to_string(), version), stored.clone());
+    }
+
+    fn make_forepart(&self, data: &Bytes) -> Option<Bytes> {
+        if self.cfg.forepart_bytes == 0 {
+            return None;
+        }
+        let n = (self.cfg.forepart_bytes as usize).min(data.len());
+        Some(data.slice(..n))
+    }
+
+    /// Places file data into buckets, splitting and sealing as needed.
+    /// Returns `(segments, per-segment sizes, device time)`.
+    fn place_data(
+        &mut self,
+        path: &UdfPath,
+        data: &Bytes,
+    ) -> Result<(Vec<ImageId>, Vec<u64>, SimDuration), OlfsError> {
+        let mut segments = Vec::new();
+        let mut seg_sizes: Vec<u64> = Vec::new();
+        let mut offset = 0u64;
+        let total = data.len() as u64;
+        let mut io = SimDuration::ZERO;
+        let mut guard = 0u32;
+        loop {
+            if !(offset < total || (total == 0 && segments.is_empty())) {
+                break;
+            }
+            guard += 1;
+            if guard > 10_000 {
+                return Err(OlfsError::BadState(
+                    "file placement failed to converge".into(),
+                ));
+            }
+            let remaining = total - offset;
+            match self.wbm.place(path, remaining) {
+                Placement::Whole { bucket } => {
+                    let chunk = data.slice(offset as usize..);
+                    io += params::bucket_write_device()
+                        + self.vm.write_time(self.vol_buffer, chunk.len() as u64)?;
+                    let now = self.queue.now().as_nanos();
+                    let image = ImageId(self.wbm.bucket(bucket).expect("valid").image_id());
+                    self.wbm
+                        .bucket_mut(bucket)
+                        .expect("valid")
+                        .write(path, chunk, now)?;
+                    if offset > 0 {
+                        self.write_link_file(bucket, path, &segments, offset, total);
+                    }
+                    segments.push(image);
+                    seg_sizes.push(total - offset);
+                    break;
+                }
+                Placement::Split { bucket, prefix } => {
+                    let chunk = data.slice(offset as usize..(offset + prefix) as usize);
+                    io += params::bucket_write_device()
+                        + self.vm.write_time(self.vol_buffer, prefix)?;
+                    let now = self.queue.now().as_nanos();
+                    let image = ImageId(self.wbm.bucket(bucket).expect("valid").image_id());
+                    self.wbm
+                        .bucket_mut(bucket)
+                        .expect("valid")
+                        .write(path, chunk, now)?;
+                    if offset > 0 {
+                        self.write_link_file(bucket, path, &segments, offset, total);
+                    }
+                    segments.push(image);
+                    seg_sizes.push(prefix);
+                    offset += prefix;
+                    io += self.seal_bucket(bucket)?;
+                }
+                Placement::NoRoom => {
+                    let fullest = (0..self.wbm.len())
+                        .max_by_key(|&i| self.wbm.bucket(i).expect("valid").used_bytes())
+                        .expect("at least one bucket");
+                    if self.wbm.bucket(fullest).expect("valid").is_empty() {
+                        return Err(OlfsError::Invalid(format!(
+                            "file unplaceable: {remaining} bytes left"
+                        )));
+                    }
+                    io += self.seal_bucket(fullest)?;
+                }
+            }
+        }
+        Ok((segments, seg_sizes, io))
+    }
+
+    /// Writes the link file stitching subfile `offset` of `path` to the
+    /// previous segment (§4.5).
+    fn write_link_file(
+        &mut self,
+        bucket: usize,
+        path: &UdfPath,
+        segments: &[ImageId],
+        offset: u64,
+        total: u64,
+    ) {
+        let Some(&prev) = segments.last() else {
+            return;
+        };
+        let link = LinkFile {
+            prev_image: prev.0,
+            offset,
+            total_size: total,
+        };
+        let link_path = path
+            .parent()
+            .expect("non-root")
+            .join(&link_file_name(path.name().expect("non-root")));
+        let now = self.queue.now().as_nanos();
+        // Best effort: if the link file doesn't fit, MV still stitches
+        // the segments; only MV-less recovery loses the continuation.
+        if let Some(b) = self.wbm.bucket_mut(bucket) {
+            let _ = b.write(&link_path, link.to_json().into_bytes(), now);
+        }
+    }
+
+    /// Seals bucket `i` into an image. Returns device time consumed.
+    pub(crate) fn seal_bucket(&mut self, i: usize) -> Result<SimDuration, OlfsError> {
+        let new_id = self.store.allocate_image_id();
+        let old = self.wbm.rotate(i, new_id);
+        if old.is_empty() {
+            return Ok(SimDuration::ZERO);
+        }
+        let sealed = old.close()?;
+        let image = ImageId(sealed.image_id());
+        let bytes = sealed.len();
+        self.vm.allocate(self.vol_buffer, bytes)?;
+        let completed = self
+            .store
+            .register_sealed(sealed, self.cfg.data_discs_per_array());
+        self.cache.insert(image);
+        self.cache.pin(image);
+        self.promote_paths(image, LocTag::Image);
+        self.counters.buckets_sealed += 1;
+        if let Some(gid) = completed {
+            self.schedule_parity(gid);
+        }
+        Ok(SimDuration::from_micros(500))
+    }
+
+    fn promote_paths(&mut self, image: ImageId, loc: LocTag) {
+        if let Some(paths) = self.image_paths.get(&image).cloned() {
+            for p in paths {
+                // Shadow paths map back to their original index file.
+                let original = Self::original_of(&p);
+                if let Some(idx) = self.mv.get_mut(&original) {
+                    idx.promote_image(image, loc);
+                }
+            }
+        }
+    }
+
+    /// Maps a (possibly shadow) stored path back to the global path.
+    fn original_of(p: &UdfPath) -> UdfPath {
+        let Some(name) = p.name() else {
+            return p.clone();
+        };
+        if let Some(rest) = name.strip_prefix(".rosv") {
+            if let Some(dash) = rest.find('-') {
+                let original = &rest[dash + 1..];
+                return p.parent().expect("non-root").join(original);
+            }
+        }
+        p.clone()
+    }
+
+    /// Schedules delayed parity generation for a completed group (§4.7).
+    pub(crate) fn schedule_parity(&mut self, gid: ArrayId) {
+        let Some(group) = self.store.group(gid) else {
+            return;
+        };
+        let read_bytes: u64 = group
+            .data
+            .iter()
+            .filter_map(|id| self.store.get(*id))
+            .map(|i| i.size)
+            .sum();
+        let max_size = group
+            .data
+            .iter()
+            .filter_map(|id| self.store.get(*id))
+            .map(|i| i.size)
+            .max()
+            .unwrap_or(0);
+        let write_vol = if self.cfg.separate_volumes {
+            self.vol_aux
+        } else {
+            self.vol_buffer
+        };
+        let parity_count = self.cfg.redundancy.parity_discs() as u64;
+        let read = self
+            .vm
+            .read_time(self.vol_buffer, read_bytes)
+            .unwrap_or(SimDuration::ZERO);
+        let write = self
+            .vm
+            .write_time(write_vol, max_size * parity_count)
+            .unwrap_or(SimDuration::ZERO);
+        let dur = if self.cfg.separate_volumes {
+            // Independent volumes let the read and write streams overlap.
+            read.max(write)
+        } else {
+            // Same volume: the streams serialise and interfere.
+            (read + write).mul_f64(1.0 / ros_disk::params::STREAM_INTERFERENCE_FACTOR)
+        };
+        self.queue
+            .schedule_in(dur, Event::ParityDone { group: gid });
+    }
+
+    // ------------------------------------------------------------------
+    // Background events
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::ParityDone { group } => self.finish_parity(group),
+            Event::BurnDone { group, bay } => self.finish_burn(group, bay),
+            Event::ScrubTick => self.scheduled_scrub(),
+            Event::PrefetchDone { bay, images } => self.finish_prefetch(bay, images),
+        }
+    }
+
+    /// Completes a background array prefetch: every sibling image still
+    /// sitting in the bay's drives gets its payload restored to the disk
+    /// tier and becomes a cache resident.
+    fn finish_prefetch(&mut self, bay: usize, images: Vec<ImageId>) {
+        for image in images {
+            let already = self
+                .store
+                .get(image)
+                .map(crate::dim::ImageInfo::on_disk)
+                .unwrap_or(true);
+            if already {
+                continue;
+            }
+            let Some(loc) = self.store.location_of(image) else {
+                continue;
+            };
+            // The array may have been unloaded since; skip silently.
+            if self.mech.bay_contents(bay).ok().flatten() != Some(loc.slot) {
+                continue;
+            }
+            let pos = loc.position as usize;
+            let Some(drive) = self.bays[bay].drive_mut(pos) else {
+                continue;
+            };
+            let Ok(timed) = drive.read_image(image.0) else {
+                continue;
+            };
+            if let Payload::Inline(bytes) = timed.payload {
+                if self
+                    .vm
+                    .allocate(self.vol_buffer, bytes.len() as u64)
+                    .is_ok()
+                    && self.store.restore_disk_copy(image, bytes).is_ok()
+                {
+                    self.cache.insert(image);
+                    self.apply_cache_pressure();
+                }
+            }
+        }
+    }
+
+    /// Runs the periodic scrub if the library is idle, then reschedules.
+    /// Busy ticks (burns in flight) skip the pass — §4.7 schedules the
+    /// sector-error checking "at idle times".
+    fn scheduled_scrub(&mut self) {
+        let Some(interval) = self.cfg.scrub_interval else {
+            return;
+        };
+        if self.burning.is_empty() && self.burn_queue.is_empty() {
+            let report = self.scrub();
+            self.last_scrub = Some(report);
+        }
+        self.queue.schedule_in(interval, Event::ScrubTick);
+    }
+
+    fn finish_parity(&mut self, gid: ArrayId) {
+        let group = match self.store.group(gid) {
+            Some(g) if g.state == GroupState::ParityPending => g.clone(),
+            _ => return,
+        };
+        if self.cfg.redundancy != Redundancy::None {
+            let payloads: Vec<Bytes> = group
+                .data
+                .iter()
+                .filter_map(|id| self.store.get(*id))
+                .filter_map(|i| i.payload.clone())
+                .collect();
+            if payloads.len() != group.data.len() {
+                return; // A member vanished; leave for maintenance.
+            }
+            let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_ref()).collect();
+            match redundancy::generate(self.cfg.redundancy, &refs) {
+                Ok(set) => {
+                    let mut parity = Vec::new();
+                    if let Some(p) = set.p {
+                        parity.push(p);
+                    }
+                    if let Some(q) = set.q {
+                        parity.push(q);
+                    }
+                    let bytes: u64 = parity.iter().map(|p| p.len() as u64).sum();
+                    let _ = self.vm.allocate(self.vol_buffer, bytes);
+                    if self.store.register_parity(gid, parity).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        } else if self.store.register_parity(gid, Vec::new()).is_err() {
+            return;
+        }
+        self.counters.parity_runs += 1;
+        self.burn_queue.push_back(gid);
+        self.try_start_burns();
+    }
+
+    /// Starts queued burns while a bay and a target tray are available.
+    pub(crate) fn try_start_burns(&mut self) {
+        loop {
+            let Some(&gid) = self.burn_queue.front() else {
+                return;
+            };
+            let append = self.append_groups.contains(&gid);
+            let slot = if append {
+                self.store.group(gid).and_then(|g| g.slot)
+            } else {
+                self.store.first_empty_slot(&self.cfg.layout)
+            };
+            let Some(slot) = slot else {
+                return; // Out of empty trays.
+            };
+            let Some(bay) = self.pick_bay_for_burn() else {
+                return; // All bays busy or reserved.
+            };
+            self.burn_queue.pop_front();
+            let append = self.append_groups.remove(&gid);
+            let result = self.start_burn(gid, bay, slot, append);
+            self.reserved_bays.remove(&bay);
+            if result.is_err() {
+                let idx = self.cfg.layout.slot_index(slot);
+                self.store.set_da_state(idx, DaState::Failed);
+                self.burn_queue.push_front(gid);
+                if append {
+                    self.append_groups.insert(gid);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Picks and *reserves* a bay for burning: free, or idle-holding
+    /// (unloading first). The caller must release the reservation once
+    /// the burn is registered (or failed).
+    fn pick_bay_for_burn(&mut self) -> Option<usize> {
+        for bay in 0..self.bays.len() {
+            if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
+                continue;
+            }
+            if self.mech.bay_contents(bay).expect("bay exists").is_none() {
+                self.reserved_bays.insert(bay);
+                return Some(bay);
+            }
+        }
+        for bay in 0..self.bays.len() {
+            if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
+                continue;
+            }
+            if self.mech.bay_contents(bay).expect("bay exists").is_some() {
+                // Reserve across the unload so re-entrant event handling
+                // (another ParityDone firing during the mechanical wait)
+                // cannot steal the bay.
+                self.reserved_bays.insert(bay);
+                match self.unload_bay(bay) {
+                    Ok(_) => return Some(bay),
+                    Err(_) => {
+                        self.reserved_bays.remove(&bay);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Unloads a bay's disc array back to its tray.
+    pub(crate) fn unload_bay(&mut self, bay: usize) -> Result<SimDuration, OlfsError> {
+        for i in 0..self.cfg.drives_per_bay {
+            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            if drive.disc().is_some() {
+                let (disc, _) = drive.eject()?;
+                self.registry.put_back(disc)?;
+            }
+            self.vfs_mounted.insert((bay, i), false);
+        }
+        let op = self.mech.unload_array(bay)?;
+        self.advance(op.duration);
+        Ok(op.duration)
+    }
+
+    /// Loads a tray's disc array into a bay's drives.
+    pub(crate) fn load_bay(
+        &mut self,
+        slot: SlotAddress,
+        bay: usize,
+    ) -> Result<SimDuration, OlfsError> {
+        let op = self.mech.load_array(slot, bay)?;
+        let idx = self.cfg.layout.slot_index(slot);
+        let tray: Vec<DiscId> = self
+            .registry
+            .tray(idx)
+            .ok_or_else(|| OlfsError::BadState(format!("no tray {idx}")))?
+            .to_vec();
+        for (i, disc_id) in tray.iter().enumerate() {
+            let disc = self.registry.take(*disc_id)?;
+            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            drive.insert(disc)?;
+            // Drives spin up while the arm finishes its cycle; the
+            // residual is charged as post_load_spin_up by the fetch path.
+            let _ = drive.mount();
+            self.vfs_mounted.insert((bay, i), false);
+        }
+        self.advance(op.duration);
+        Ok(op.duration)
+    }
+
+    fn start_burn(
+        &mut self,
+        gid: ArrayId,
+        bay: usize,
+        slot: SlotAddress,
+        append: bool,
+    ) -> Result<(), OlfsError> {
+        self.load_bay(slot, bay)?;
+        let idx = self.cfg.layout.slot_index(slot);
+        self.store.set_da_state(idx, DaState::Used);
+        {
+            let g = self
+                .store
+                .group_mut(gid)
+                .ok_or(OlfsError::BadState(format!("no group {gid}")))?;
+            g.state = GroupState::Burning;
+            g.slot = Some(slot);
+        }
+        let group = self.store.group(gid).expect("exists").clone();
+        let all_images: Vec<ImageId> = group
+            .data
+            .iter()
+            .chain(group.parity.iter())
+            .copied()
+            .collect();
+        let mut sizes = vec![0u64; self.cfg.drives_per_bay];
+        for (i, img) in all_images.iter().enumerate() {
+            if i < sizes.len() {
+                sizes[i] = self.store.get(*img).map(|x| x.size).unwrap_or(0);
+            }
+        }
+        let mut format_extra = SimDuration::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            if size > 0 {
+                self.bays[bay]
+                    .drive_mut(i)
+                    .expect("drive exists")
+                    .begin_burn()?;
+                if append {
+                    // Appending re-burn pays the metadata-zone formatting
+                    // (§2.1: "takes tens of seconds to format").
+                    format_extra = ros_drive::params::track_format_time();
+                }
+            }
+        }
+        let start = self.now() + format_extra;
+        let report = self.bays[bay].simulate_array_burn(&sizes, self.cfg.disc_class, start);
+        let until = start + report.total;
+        self.burning.insert(
+            bay,
+            BurningInfo {
+                group: gid,
+                until,
+                sizes,
+                append,
+            },
+        );
+        self.queue
+            .schedule_at(until, Event::BurnDone { group: gid, bay });
+        Ok(())
+    }
+
+    fn finish_burn(&mut self, gid: ArrayId, bay: usize) {
+        let Some(info) = self.burning.get(&bay) else {
+            return; // Interrupted; stale completion event.
+        };
+        if info.group != gid {
+            return;
+        }
+        let info = self.burning.remove(&bay).expect("checked");
+        let group = match self.store.group(gid) {
+            Some(g) => g.clone(),
+            None => return,
+        };
+        let slot = group.slot.expect("burning group has a slot");
+        let slot_index = self.cfg.layout.slot_index(slot);
+        let tray: Vec<DiscId> = self
+            .registry
+            .tray(slot_index)
+            .map(<[DiscId]>::to_vec)
+            .unwrap_or_default();
+        let all_images: Vec<ImageId> = group
+            .data
+            .iter()
+            .chain(group.parity.iter())
+            .copied()
+            .collect();
+        for (i, img) in all_images.iter().enumerate() {
+            if info.sizes.get(i).copied().unwrap_or(0) == 0 {
+                continue;
+            }
+            let payload = self
+                .store
+                .get(*img)
+                .and_then(|x| x.payload.clone())
+                .map(Payload::inline)
+                .unwrap_or_else(|| Payload::synthetic(0, 0));
+            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            let res = if info.append {
+                drive.finish_burn_track(img.0, payload)
+            } else {
+                drive.finish_burn(img.0, payload)
+            };
+            if res.is_err() {
+                self.store.set_da_state(slot_index, DaState::Failed);
+                continue;
+            }
+            let disc = tray.get(i).copied().unwrap_or(DiscId(u64::MAX));
+            let _ = self.store.mark_burned(
+                *img,
+                DiscLocation {
+                    disc,
+                    slot,
+                    position: i as u32,
+                },
+            );
+            self.cache.unpin(*img);
+            self.promote_paths(*img, LocTag::Disc);
+        }
+        if let Some(g) = self.store.group_mut(gid) {
+            g.state = GroupState::Burned;
+        }
+        self.counters.burns += 1;
+        self.apply_cache_pressure();
+        self.try_start_burns();
+    }
+
+    /// Evicts cache overflow: drops disk copies of burned images.
+    fn apply_cache_pressure(&mut self) {
+        let over = self.cache.len().saturating_sub(self.cache.capacity());
+        if over == 0 {
+            return;
+        }
+        let victims: Vec<ImageId> = self
+            .cache
+            .lru_order()
+            .filter(|id| {
+                self.store
+                    .get(*id)
+                    .map(|i| i.burned.is_some() && i.on_disk())
+                    .unwrap_or(false)
+            })
+            .take(over)
+            .collect();
+        for v in victims {
+            if let Ok(freed) = self.store.evict_disk_copy(v) {
+                let _ = self.vm.release(self.vol_buffer, freed);
+                self.cache.remove(v);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Read path (§4.1, §4.8, Table 1)
+    // ------------------------------------------------------------------
+
+    /// Reads the newest version of a file.
+    pub fn read_file(&mut self, path: &UdfPath) -> Result<ReadReport, OlfsError> {
+        self.read_version_inner(path, None)
+    }
+
+    /// Reads a specific retained version (data provenance, §4.6).
+    pub fn read_version(&mut self, path: &UdfPath, ver: u32) -> Result<ReadReport, OlfsError> {
+        self.read_version_inner(path, Some(ver))
+    }
+
+    fn read_version_inner(
+        &mut self,
+        path: &UdfPath,
+        ver: Option<u32>,
+    ) -> Result<ReadReport, OlfsError> {
+        let mut trace = OpTrace::new();
+        let mv_read = self.vm.random_read_time(self.vol_mv, 1024)?;
+        let d = trace.step("stat", mv_read);
+        self.advance(d);
+
+        let idx = self
+            .mv
+            .get(path)
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+        let entry = match ver {
+            Some(v) => {
+                if self.overwritten.contains(&(path.to_string(), v)) {
+                    // The bytes were physically replaced by a later
+                    // in-place bucket update (§4.6).
+                    return Err(OlfsError::VersionGone {
+                        path: path.to_string(),
+                        version: v,
+                    });
+                }
+                idx.version(v)
+                    .ok_or(OlfsError::VersionGone {
+                        path: path.to_string(),
+                        version: v,
+                    })?
+                    .clone()
+            }
+            None => idx
+                .latest()
+                .ok_or_else(|| OlfsError::NotFound(path.to_string()))?
+                .clone(),
+        };
+        let forepart_available = ver.is_none() && idx.forepart().is_some();
+        let stored_paths = self.resolve_stored_paths(path, entry.ver);
+
+        let mut data = Vec::with_capacity(entry.size as usize);
+        let mut io = SimDuration::ZERO;
+        let mut source = ReadSource::DiskBucket;
+        let mut fetch_extra = SimDuration::ZERO;
+        for seg in &entry.segs {
+            let (bytes, seg_io, seg_source, seg_fetch) =
+                self.read_segment(*seg, &stored_paths, entry.size)?;
+            data.extend_from_slice(&bytes);
+            io += seg_io;
+            fetch_extra += seg_fetch;
+            source = worst_source(source, seg_source);
+        }
+        if fetch_extra > SimDuration::ZERO {
+            trace.extra("fetch", fetch_extra);
+        }
+        let d = trace.step("read", io);
+        self.advance(d);
+        let d = trace.step("close", SimDuration::ZERO);
+        self.advance(d);
+
+        let total = trace.total();
+        let first_byte = if fetch_extra > SimDuration::ZERO && forepart_available {
+            params::forepart_first_byte()
+        } else {
+            total
+        };
+        self.counters.reads += 1;
+        Ok(ReadReport {
+            data: Bytes::from(data),
+            version: entry.ver,
+            latency: total,
+            first_byte_latency: first_byte,
+            source,
+            trace,
+        })
+    }
+
+    /// Reads a byte range of a file's newest version (the `pread`
+    /// behind the POSIX layer). Segments entirely outside the range are
+    /// skipped — including their mechanical fetches — when the index
+    /// entry recorded per-segment sizes.
+    pub fn read_range(
+        &mut self,
+        path: &UdfPath,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadReport, OlfsError> {
+        let mut trace = OpTrace::new();
+        let mv_read = self.vm.random_read_time(self.vol_mv, 1024)?;
+        let d = trace.step("stat", mv_read);
+        self.advance(d);
+
+        let idx = self
+            .mv
+            .get(path)
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+        let entry = idx
+            .latest()
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?
+            .clone();
+        let forepart_hit = idx
+            .forepart()
+            .map(|f| offset < f.len() as u64)
+            .unwrap_or(false);
+        let stored_paths = self.resolve_stored_paths(path, entry.ver);
+
+        let end = offset.saturating_add(len).min(entry.size);
+        let start = offset.min(entry.size);
+        let sized = entry.seg_sizes.len() == entry.segs.len() && !entry.segs.is_empty();
+
+        let mut data = Vec::with_capacity((end - start) as usize);
+        let mut io = SimDuration::ZERO;
+        let mut source = ReadSource::DiskBucket;
+        let mut fetch_extra = SimDuration::ZERO;
+        let mut cursor = 0u64; // Byte position at the current segment start.
+        for (i, seg) in entry.segs.iter().enumerate() {
+            let seg_len = if sized {
+                entry.seg_sizes[i]
+            } else {
+                // Unknown layout: read everything and slice at the end.
+                u64::MAX
+            };
+            let seg_end = cursor.saturating_add(seg_len);
+            let overlaps = !sized || (seg_end > start && cursor < end);
+            if overlaps {
+                let (bytes, seg_io, seg_source, seg_fetch) =
+                    self.read_segment(*seg, &stored_paths, entry.size)?;
+                io += seg_io;
+                fetch_extra += seg_fetch;
+                source = worst_source(source, seg_source);
+                if sized {
+                    let lo = start.saturating_sub(cursor).min(bytes.len() as u64);
+                    let hi = end.saturating_sub(cursor).min(bytes.len() as u64);
+                    data.extend_from_slice(&bytes[lo as usize..hi as usize]);
+                } else {
+                    data.extend_from_slice(&bytes);
+                }
+            }
+            if sized {
+                cursor = seg_end;
+                if cursor >= end {
+                    break;
+                }
+            }
+        }
+        if !sized {
+            // Slice the concatenation.
+            let lo = start.min(data.len() as u64) as usize;
+            let hi = end.min(data.len() as u64) as usize;
+            data = data[lo..hi].to_vec();
+        }
+        if fetch_extra > SimDuration::ZERO {
+            trace.extra("fetch", fetch_extra);
+        }
+        let d = trace.step("read", io);
+        self.advance(d);
+        let d = trace.step("close", SimDuration::ZERO);
+        self.advance(d);
+
+        let total = trace.total();
+        let first_byte = if fetch_extra > SimDuration::ZERO && forepart_hit {
+            params::forepart_first_byte()
+        } else {
+            total
+        };
+        self.counters.reads += 1;
+        Ok(ReadReport {
+            data: Bytes::from(data),
+            version: entry.ver,
+            latency: total,
+            first_byte_latency: first_byte,
+            source,
+            trace,
+        })
+    }
+
+    /// Candidate stored paths for a version, most likely first.
+    fn resolve_stored_paths(&self, path: &UdfPath, ver: u32) -> Vec<UdfPath> {
+        let mut candidates = Vec::new();
+        if let Some(stored) = self.in_place.get(&(path.to_string(), ver)) {
+            candidates.push(stored.clone());
+        }
+        if ver > 1 {
+            candidates.push(Self::shadow_path(path, ver));
+        }
+        candidates.push(path.clone());
+        candidates
+    }
+
+    /// Reads one segment image, fetching from disc if needed. Returns
+    /// `(bytes, device_io, source, mechanical_extra)`.
+    fn read_segment(
+        &mut self,
+        image: ImageId,
+        stored_paths: &[UdfPath],
+        size_hint: u64,
+    ) -> Result<(Bytes, SimDuration, ReadSource, SimDuration), OlfsError> {
+        // 1. Still in an open bucket?
+        if let Some(bi) = self.wbm.locate_image(image) {
+            let b = self.wbm.bucket(bi).expect("located");
+            for p in stored_paths {
+                if let Ok(bytes) = b.tree().read(p) {
+                    let io = params::bucket_read_device()
+                        + self.vm.read_time(self.vol_buffer, bytes.len() as u64)?;
+                    return Ok((bytes, io, ReadSource::DiskBucket, SimDuration::ZERO));
+                }
+            }
+            return Err(OlfsError::ImageLost(image));
+        }
+        // 2. Resident sealed image (buffer / read cache)?
+        let has_sealed = self
+            .store
+            .get(image)
+            .ok_or(OlfsError::ImageLost(image))?
+            .sealed
+            .is_some();
+        if has_sealed {
+            let sealed = self
+                .store
+                .get(image)
+                .and_then(|i| i.sealed.clone())
+                .expect("checked");
+            for p in stored_paths {
+                if let Ok(bytes) = sealed.read(p) {
+                    let io = params::image_read_device()
+                        + self.vm.read_time(self.vol_buffer, bytes.len() as u64)?;
+                    self.cache.touch(image);
+                    return Ok((bytes, io, ReadSource::DiskImage, SimDuration::ZERO));
+                }
+            }
+            return Err(OlfsError::ImageLost(image));
+        }
+        // 3. On disc: fetch (a read-cache miss by definition).
+        self.cache.touch(image);
+        let (fetch_time, source) = self.fetch_image(image, size_hint)?;
+        self.counters.fetches += 1;
+        let sealed = self
+            .store
+            .get(image)
+            .and_then(|i| i.sealed.clone())
+            .ok_or(OlfsError::ImageLost(image))?;
+        for p in stored_paths {
+            if let Ok(bytes) = sealed.read(p) {
+                let io = params::image_read_device()
+                    + self.vm.read_time(self.vol_buffer, bytes.len() as u64)?;
+                self.cache.insert(image);
+                return Ok((bytes, io, source, fetch_time));
+            }
+        }
+        Err(OlfsError::ImageLost(image))
+    }
+
+    /// Brings a burned image's bytes back to the disk tier, performing
+    /// whatever mechanical work is required.
+    ///
+    /// The foreground read transfers only the requested file
+    /// (`file_bytes`) off the mounted disc (§5.4); the rest of the image
+    /// streams into the read cache in the background, overlapped with
+    /// the remaining mechanical/settling window.
+    fn fetch_image(
+        &mut self,
+        image: ImageId,
+        file_bytes: u64,
+    ) -> Result<(SimDuration, ReadSource), OlfsError> {
+        let loc = self
+            .store
+            .location_of(image)
+            .ok_or(OlfsError::ImageLost(image))?;
+        let holding_bay = (0..self.bays.len()).find(|&b| {
+            !self.burning.contains_key(&b)
+                && self.mech.bay_contents(b).expect("bay exists") == Some(loc.slot)
+        });
+
+        let (bay, mut extra, source) = match holding_bay {
+            Some(bay) => {
+                self.reserved_bays.insert(bay);
+                (bay, SimDuration::ZERO, ReadSource::DiscInDrive)
+            }
+            None => {
+                let (bay, free_time, source) = self.acquire_bay_for_fetch()?;
+                let load = match self.load_bay(loc.slot, bay) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        self.reserved_bays.remove(&bay);
+                        return Err(e);
+                    }
+                };
+                (bay, free_time + load + params::post_load_spin_up(), source)
+            }
+        };
+
+        let result = self.read_disc_payload(image, bay, loc, file_bytes, &mut extra);
+        self.reserved_bays.remove(&bay);
+        let source = match result {
+            Ok(()) => source,
+            Err(e) => return Err(e),
+        };
+        if self.cfg.prefetch_array {
+            self.schedule_array_prefetch(bay, loc.slot, image);
+        }
+        self.advance(extra);
+        Ok((extra, source))
+    }
+
+    /// Schedules a background prefetch of every other image burned on
+    /// the array now sitting in `bay` (§4.1's spatial-locality
+    /// refinement). The transfer happens off the critical path while the
+    /// discs remain loaded.
+    fn schedule_array_prefetch(&mut self, bay: usize, slot: SlotAddress, just_read: ImageId) {
+        let Some(gid) = self.store.get(just_read).and_then(|i| i.array) else {
+            return;
+        };
+        let Some(group) = self.store.group(gid) else {
+            return;
+        };
+        if group.slot != Some(slot) {
+            return;
+        }
+        let siblings: Vec<ImageId> = group
+            .data
+            .iter()
+            .copied()
+            .filter(|&img| {
+                img != just_read
+                    && self
+                        .store
+                        .get(img)
+                        .map(|i| i.burned.is_some() && !i.on_disk())
+                        .unwrap_or(false)
+            })
+            .collect();
+        if siblings.is_empty() {
+            return;
+        }
+        // All sibling drives stream in parallel: the prefetch lands
+        // after the slowest full-image read.
+        let speed = self.bays[bay].aggregate_read_speed(self.cfg.disc_class)
+            / self.cfg.drives_per_bay as f64;
+        let slowest = siblings
+            .iter()
+            .filter_map(|img| self.store.get(*img).map(|i| i.size))
+            .max()
+            .unwrap_or(0);
+        let dur = speed.time_for(slowest) + ros_drive::params::seek_time();
+        self.queue.schedule_in(
+            dur,
+            Event::PrefetchDone {
+                bay,
+                images: siblings,
+            },
+        );
+    }
+
+    fn read_disc_payload(
+        &mut self,
+        image: ImageId,
+        bay: usize,
+        loc: DiscLocation,
+        file_bytes: u64,
+        extra: &mut SimDuration,
+    ) -> Result<(), OlfsError> {
+        let pos = loc.position as usize;
+        // Idle drives spin down; the next access pays the ≈2 s mount
+        // delay (§5.4: "occurs only when the drive is in the sleep
+        // state").
+        let idle_since = self.drive_last_used.get(&(bay, pos)).copied();
+        if let Some(t) = idle_since {
+            if self.now().duration_since(t) > ros_drive::params::sleep_after_idle() {
+                self.bays[bay].drive_mut(pos).expect("drive exists").sleep();
+            }
+        }
+        self.drive_last_used.insert((bay, pos), self.now());
+        let mounted = *self.vfs_mounted.get(&(bay, pos)).unwrap_or(&false);
+        if !mounted {
+            // The 220 ms VFS mount (§5.4) subsumes the first file seek,
+            // which the drive charges separately below.
+            *extra += params::vfs_mount() - ros_drive::params::seek_time();
+            self.vfs_mounted.insert((bay, pos), true);
+        }
+        let read = self.bays[bay]
+            .drive_mut(pos)
+            .expect("drive exists")
+            .read_image(image.0);
+        match read {
+            Ok(timed) => {
+                // Foreground: mount + seek + the requested file's bytes.
+                // The remainder of the image streams into the cache in
+                // the background (§4.1: the cache unit is a whole image).
+                let speed = self.bays[bay]
+                    .drive(pos)
+                    .expect("drive exists")
+                    .read_speed()
+                    .unwrap_or(ros_drive::params::read_speed_bd25());
+                let file_transfer = speed.time_for(file_bytes.min(timed.payload.len()));
+                let full_transfer = speed.time_for(timed.payload.len());
+                let overhead = timed.duration.saturating_sub(full_transfer);
+                *extra += overhead + file_transfer;
+                let payload = match timed.payload {
+                    Payload::Inline(b) => b,
+                    Payload::Synthetic { size, checksum } => {
+                        // PB-scale benches burn synthetic payloads; fake
+                        // the restore by checksum identity.
+                        let _ = (size, checksum);
+                        return Err(OlfsError::BadState(format!(
+                            "image {image} has no inline payload"
+                        )));
+                    }
+                };
+                self.vm.allocate(self.vol_buffer, payload.len() as u64)?;
+                self.store.restore_disk_copy(image, payload)?;
+                Ok(())
+            }
+            Err(ros_drive::DriveError::Media(ros_drive::media::MediaError::SectorErrors {
+                ..
+            })) => {
+                let repair = self.repair_image(image, bay)?;
+                *extra += repair;
+                self.counters.repairs += 1;
+                Ok(())
+            }
+            Err(e) => Err(OlfsError::Drive(e.to_string())),
+        }
+    }
+
+    /// Finds and reserves a bay for a fetch per the busy-read policy.
+    /// Returns `(bay, time_spent_freeing_it, source_classification)`.
+    fn acquire_bay_for_fetch(&mut self) -> Result<(usize, SimDuration, ReadSource), OlfsError> {
+        let mut spent = SimDuration::ZERO;
+        let mut classification = ReadSource::RollerFreeDrives;
+        for _round in 0..64 {
+            // A free, unreserved, non-burning bay?
+            for bay in 0..self.bays.len() {
+                if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
+                    continue;
+                }
+                if self.mech.bay_contents(bay).expect("bay exists").is_none() {
+                    self.reserved_bays.insert(bay);
+                    return Ok((bay, spent, classification));
+                }
+            }
+            // An idle holding bay: reserve, unload, return.
+            let idle = (0..self.bays.len()).find(|b| {
+                !self.burning.contains_key(b)
+                    && !self.reserved_bays.contains(b)
+                    && self.mech.bay_contents(*b).expect("bay exists").is_some()
+            });
+            if let Some(bay) = idle {
+                self.reserved_bays.insert(bay);
+                match self.unload_bay(bay) {
+                    Ok(t) => {
+                        spent += t;
+                        classification =
+                            worst_source(classification, ReadSource::RollerUnloadFirst);
+                        return Ok((bay, spent, classification));
+                    }
+                    Err(_) => {
+                        self.reserved_bays.remove(&bay);
+                        continue;
+                    }
+                }
+            }
+            // Everything is burning (§4.8).
+            classification = ReadSource::RollerDrivesBusy;
+            match self.cfg.busy_read_policy {
+                BusyReadPolicy::Wait => {
+                    let next = self
+                        .burning
+                        .values()
+                        .map(|i| i.until)
+                        .min()
+                        .ok_or(OlfsError::NoDriveAvailable)?;
+                    let start = self.now();
+                    self.run_until(next);
+                    spent += self.now().duration_since(start);
+                }
+                BusyReadPolicy::InterruptBurn => {
+                    let bay = *self
+                        .burning
+                        .keys()
+                        .next()
+                        .ok_or(OlfsError::NoDriveAvailable)?;
+                    spent += self.interrupt_burn(bay)?;
+                }
+            }
+        }
+        Err(OlfsError::NoDriveAvailable)
+    }
+
+    /// Interrupts the burn in `bay`, requeueing its group for an
+    /// appending re-burn (§4.8's aggressive policy).
+    fn interrupt_burn(&mut self, bay: usize) -> Result<SimDuration, OlfsError> {
+        let info = self
+            .burning
+            .remove(&bay)
+            .ok_or(OlfsError::BadState(format!("bay {bay} not burning")))?;
+        let gid = info.group;
+        let group = self
+            .store
+            .group(gid)
+            .ok_or(OlfsError::BadState(format!("no group {gid}")))?
+            .clone();
+        let imgs: Vec<ImageId> = group
+            .data
+            .iter()
+            .chain(group.parity.iter())
+            .copied()
+            .collect();
+        for i in 0..self.cfg.drives_per_bay {
+            if info.sizes.get(i).copied().unwrap_or(0) > 0 {
+                let img = imgs.get(i).copied().unwrap_or(ImageId(0));
+                self.bays[bay]
+                    .drive_mut(i)
+                    .expect("drive exists")
+                    .interrupt_burn(img.0, 0)?;
+            }
+        }
+        // The slot stays reserved for the group's appending re-burn.
+        if let Some(g) = self.store.group_mut(gid) {
+            g.state = GroupState::ReadyToBurn;
+        }
+        self.burn_queue.push_front(gid);
+        self.append_groups.insert(gid);
+        self.counters.burn_interrupts += 1;
+        let t = SimDuration::from_millis(500);
+        self.advance(t);
+        Ok(t)
+    }
+
+    // ------------------------------------------------------------------
+    // Namespace queries
+    // ------------------------------------------------------------------
+
+    /// Stats a file: `(size, version, mtime_nanos)`.
+    pub fn stat(&mut self, path: &UdfPath) -> Result<(u64, u32, u64), OlfsError> {
+        let d = params::internal_op_overhead() + self.vm.random_read_time(self.vol_mv, 1024)?;
+        self.advance(d);
+        let idx = self
+            .mv
+            .get(path)
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+        let e = idx
+            .latest()
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+        Ok((e.size, e.ver, e.mtime))
+    }
+
+    /// Lists a directory's children: `(name, is_dir)`.
+    pub fn readdir(&mut self, path: &UdfPath) -> Result<Vec<(String, bool)>, OlfsError> {
+        let d = params::internal_op_overhead() + self.vm.random_read_time(self.vol_mv, 4096)?;
+        self.advance(d);
+        self.mv.list(path)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &UdfPath) -> Result<(), OlfsError> {
+        let d = params::internal_op_overhead() + self.vm.random_read_time(self.vol_mv, 1024)?;
+        self.advance(d);
+        self.mv.mkdir_p(path)
+    }
+
+    /// Removes a file from the global view (the disc data remains; §4.6's
+    /// provenance survives in old MV snapshots).
+    pub fn unlink(&mut self, path: &UdfPath) -> Result<(), OlfsError> {
+        let d = params::internal_op_overhead() + self.vm.random_read_time(self.vol_mv, 1024)?;
+        self.advance(d);
+        self.mv.unlink(path)?;
+        Ok(())
+    }
+
+    /// Lists the retained versions of a file: `(version, size, mtime)`.
+    pub fn versions(&mut self, path: &UdfPath) -> Result<Vec<(u32, u64, u64)>, OlfsError> {
+        let d = params::internal_op_overhead() + self.vm.random_read_time(self.vol_mv, 1024)?;
+        self.advance(d);
+        let idx = self
+            .mv
+            .get(path)
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+        Ok(idx.versions().map(|e| (e.ver, e.size, e.mtime)).collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Flush / repair / power
+    // ------------------------------------------------------------------
+
+    /// Seals every non-empty bucket, force-closes the partial array
+    /// group, and runs the system until all queued burns complete.
+    pub fn flush(&mut self) -> Result<(), OlfsError> {
+        let mut io = SimDuration::ZERO;
+        for i in 0..self.wbm.len() {
+            if !self.wbm.bucket(i).expect("valid").is_empty() {
+                io += self.seal_bucket(i)?;
+            }
+        }
+        self.advance(io);
+        if let Some(gid) = self.store.force_close_collecting() {
+            self.schedule_parity(gid);
+        }
+        let ok = self.run_until_quiescent(SimDuration::from_secs(3600 * 24 * 30));
+        if ok {
+            Ok(())
+        } else {
+            Err(OlfsError::BadState(
+                "flush did not quiesce (out of discs or bays?)".into(),
+            ))
+        }
+    }
+
+    /// Repairs a damaged image by RAID reconstruction from its array
+    /// siblings (§4.7): "data on the failed sectors can be recovered from
+    /// their parity discs and the corresponding data discs in the same
+    /// disc array under the given tolerance degree."
+    ///
+    /// Reconstruction is *sector-granular*: every 2 KB stripe tolerates
+    /// up to `parity_discs` damaged members, so multiple discs of the
+    /// array may be damaged as long as no stripe exceeds the tolerance.
+    fn repair_image(&mut self, image: ImageId, bay: usize) -> Result<SimDuration, OlfsError> {
+        const SECTOR: usize = 2_048;
+        let info = self.store.get(image).ok_or(OlfsError::ImageLost(image))?;
+        let gid = info
+            .array
+            .ok_or(OlfsError::Unrecoverable { image, array: None })?;
+        let group = self
+            .store
+            .group(gid)
+            .ok_or(OlfsError::Unrecoverable {
+                image,
+                array: Some(gid),
+            })?
+            .clone();
+        let members: Vec<ImageId> = group
+            .data
+            .iter()
+            .chain(group.parity.iter())
+            .copied()
+            .collect();
+        let unrecoverable = || OlfsError::Unrecoverable {
+            image,
+            array: Some(gid),
+        };
+
+        // Gather every member's raw bytes and damage map, reading the
+        // loaded discs in parallel (charge the slowest drive).
+        let mut raw: Vec<Option<(Vec<u8>, Vec<u64>)>> = vec![None; members.len()];
+        let mut slowest = SimDuration::ZERO;
+        for (i, member) in members.iter().enumerate() {
+            // Prefer intact buffer copies.
+            if let Some(p) = self.store.get(*member).and_then(|m| m.payload.clone()) {
+                raw[i] = Some((p.to_vec(), Vec::new()));
+                continue;
+            }
+            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            let speed = drive
+                .read_speed()
+                .unwrap_or_else(|_| ros_drive::params::read_speed_bd25());
+            let Some(disc) = drive.disc() else { continue };
+            if let Ok((Payload::Inline(bytes), bad)) = disc.read_image_raw(member.0) {
+                slowest = slowest.max(speed.time_for(bytes.len() as u64));
+                raw[i] = Some((bytes.to_vec(), bad));
+            }
+        }
+        let mut time = slowest;
+
+        // Pad to a common stripe length.
+        let stripe_len = raw
+            .iter()
+            .flatten()
+            .map(|(b, _)| b.len())
+            .max()
+            .ok_or_else(unrecoverable)?;
+        let sectors = stripe_len.div_ceil(SECTOR);
+        for entry in raw.iter_mut().flatten() {
+            entry.0.resize(sectors * SECTOR, 0);
+        }
+        // Per-member damaged-sector membership.
+        let bad_sets: Vec<std::collections::HashSet<u64>> = raw
+            .iter()
+            .map(|e| match e {
+                Some((_, bad)) => bad.iter().copied().collect(),
+                // A completely missing member is damaged everywhere.
+                None => (0..sectors as u64).collect(),
+            })
+            .collect();
+        let n_data = group.data.len();
+
+        // Reconstruct damaged stripes one sector at a time.
+        let mut fixed: Vec<Vec<u8>> = raw
+            .iter()
+            .map(|e| {
+                e.as_ref()
+                    .map(|(b, _)| b.clone())
+                    .unwrap_or_else(|| vec![0u8; sectors * SECTOR])
+            })
+            .collect();
+        for k in 0..sectors as u64 {
+            let damaged: Vec<usize> = (0..members.len())
+                .filter(|&i| bad_sets[i].contains(&k))
+                .collect();
+            if damaged.is_empty() {
+                continue;
+            }
+            let lo = k as usize * SECTOR;
+            let hi = lo + SECTOR;
+            let data_masked: Vec<Option<&[u8]>> = (0..n_data)
+                .map(|i| (!bad_sets[i].contains(&k)).then(|| &fixed[i][lo..hi]))
+                .collect();
+            let p_slice = group
+                .parity
+                .first()
+                .map(|_| &fixed[n_data][lo..hi])
+                .filter(|_| !bad_sets.get(n_data).map(|s| s.contains(&k)).unwrap_or(true));
+            let q_slice = group
+                .parity
+                .get(1)
+                .map(|_| &fixed[n_data + 1][lo..hi])
+                .filter(|_| {
+                    !bad_sets
+                        .get(n_data + 1)
+                        .map(|s| s.contains(&k))
+                        .unwrap_or(true)
+                });
+            let sizes = vec![SECTOR; n_data];
+            let recovered = redundancy::reconstruct(
+                self.cfg.redundancy,
+                &data_masked,
+                &sizes,
+                p_slice,
+                q_slice,
+            )
+            .map_err(|_| unrecoverable())?;
+            for &i in &damaged {
+                if i < n_data {
+                    fixed[i][lo..hi].copy_from_slice(&recovered[i]);
+                }
+            }
+        }
+
+        // Restore the requested image's bytes (trimmed to true size).
+        let idx = members
+            .iter()
+            .position(|id| *id == image)
+            .ok_or_else(unrecoverable)?;
+        let true_size = self
+            .store
+            .get(image)
+            .map(|i| i.size as usize)
+            .ok_or_else(unrecoverable)?;
+        let mut bytes = std::mem::take(&mut fixed[idx]);
+        bytes.truncate(true_size);
+        let bytes = Bytes::from(bytes);
+        time += self.vm.write_time(self.vol_buffer, bytes.len() as u64)?;
+        self.vm.allocate(self.vol_buffer, bytes.len() as u64)?;
+        // restore_disk_copy verifies the checksum: a failed verification
+        // means the damage exceeded the schema's tolerance somewhere.
+        self.store
+            .restore_disk_copy(image, bytes)
+            .map_err(|_| unrecoverable())?;
+        Ok(time)
+    }
+
+    /// Total instantaneous power of the optical drives (rack aggregation
+    /// lives in `ros-tco`).
+    pub fn drive_power_watts(&self) -> f64 {
+        self.bays
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(ros_drive::OpticalDrive::power_watts)
+            .sum()
+    }
+
+    pub(crate) fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Simulates a power loss followed by a restart (§4.2: "Once ROS
+    /// crashes, OLFS can recover from its previous checkpoint state with
+    /// all state information stored in MV").
+    ///
+    /// What survives: the MV (SSD RAID-1), the disk write buffer — open
+    /// buckets are loop devices on disk — the image store and all burned
+    /// discs. What is lost: in-flight events. Burns that were cut mid-
+    /// write ruin their write-once discs; their trays are retired as
+    /// Failed and the groups re-queue onto fresh trays. Pending parity
+    /// generations are simply rescheduled.
+    ///
+    /// Returns `(aborted_burns, rescheduled_parities)`.
+    pub fn simulate_crash_and_restart(&mut self) -> Result<(usize, usize), OlfsError> {
+        // 1. Power loss: every scheduled event vanishes.
+        while self.queue.pop_until(self.queue.now()).is_some() {}
+        let pending: Vec<Event> = {
+            let mut v = Vec::new();
+            while let Some(ev) = self.queue.pop() {
+                // pop() advances the clock; collect and discard.
+                v.push(ev.payload);
+            }
+            v
+        };
+        drop(pending);
+        self.reserved_bays.clear();
+
+        // 2. In-flight burns are ruined: retire the tray, free the
+        //    drives, requeue the group for a fresh-tray burn.
+        let burning: Vec<(usize, BurningInfo)> = self.burning.drain().collect();
+        let aborted = burning.len();
+        for (bay, info) in burning {
+            let group = match self.store.group(info.group) {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            for i in 0..self.cfg.drives_per_bay {
+                if info.sizes.get(i).copied().unwrap_or(0) > 0 {
+                    let imgs: Vec<ImageId> = group
+                        .data
+                        .iter()
+                        .chain(group.parity.iter())
+                        .copied()
+                        .collect();
+                    let img = imgs.get(i).copied().unwrap_or(ImageId(0));
+                    let _ = self.bays[bay]
+                        .drive_mut(i)
+                        .expect("drive exists")
+                        .interrupt_burn(img.0, 0);
+                }
+            }
+            if let Some(slot) = group.slot {
+                let idx = self.cfg.layout.slot_index(slot);
+                self.store.set_da_state(idx, DaState::Failed);
+            }
+            if let Some(g) = self.store.group_mut(info.group) {
+                g.state = GroupState::ReadyToBurn;
+                g.slot = None;
+            }
+            self.append_groups.remove(&info.group);
+            self.burn_queue.push_back(info.group);
+            self.unload_bay(bay)?;
+        }
+
+        // 3. Reboot takes a moment.
+        self.queue
+            .advance_to(self.queue.now() + SimDuration::from_secs(90));
+
+        // 4. Reschedule lost parity generations and ready burns.
+        let mut parities = 0;
+        for gid in self.store.groups_in_state(GroupState::ParityPending) {
+            self.schedule_parity(gid);
+            parities += 1;
+        }
+        for gid in self.store.groups_in_state(GroupState::ReadyToBurn) {
+            if !self.burn_queue.contains(&gid) {
+                self.burn_queue.push_back(gid);
+            }
+        }
+        self.try_start_burns();
+        Ok((aborted, parities))
+    }
+}
+
+fn worst_source(a: ReadSource, b: ReadSource) -> ReadSource {
+    use ReadSource::*;
+    let rank = |s: ReadSource| match s {
+        DiskBucket => 0,
+        DiskImage => 1,
+        DiscInDrive => 2,
+        RollerFreeDrives => 3,
+        RollerUnloadFirst => 4,
+        RollerDrivesBusy => 5,
+    };
+    if rank(a) >= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RosConfig;
+
+    fn p(s: &str) -> UdfPath {
+        s.parse().unwrap()
+    }
+
+    fn ros() -> Ros {
+        Ros::new(RosConfig::tiny())
+    }
+
+    #[test]
+    fn write_then_read_from_bucket() {
+        let mut r = ros();
+        let data = vec![0xAB; 10_000];
+        let w = r.write_file(&p("/docs/a.txt"), data.clone()).unwrap();
+        assert_eq!(w.version, 1);
+        assert_eq!(w.segments.len(), 1);
+        let rd = r.read_file(&p("/docs/a.txt")).unwrap();
+        assert_eq!(rd.data.as_ref(), data.as_slice());
+        assert_eq!(rd.source, ReadSource::DiskBucket);
+        assert_eq!(rd.version, 1);
+    }
+
+    #[test]
+    fn figure7_write_trace_shape_and_latency() {
+        let mut r = ros();
+        let w = r.write_file(&p("/f"), vec![1u8; 1024]).unwrap();
+        assert_eq!(
+            w.trace.step_names(),
+            vec!["stat", "mknod", "stat", "write", "close"]
+        );
+        let ms = w.latency.as_millis_f64();
+        assert!(
+            (ms - 16.0).abs() < 2.0,
+            "write latency = {ms} ms (paper: 16)"
+        );
+    }
+
+    #[test]
+    fn figure7_read_trace_shape_and_latency() {
+        let mut r = ros();
+        r.write_file(&p("/f"), vec![1u8; 1024]).unwrap();
+        let rd = r.read_file(&p("/f")).unwrap();
+        assert_eq!(rd.trace.step_names(), vec!["stat", "read", "close"]);
+        let ms = rd.latency.as_millis_f64();
+        assert!((ms - 9.0).abs() < 2.0, "read latency = {ms} ms (paper: 9)");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let mut r = ros();
+        assert!(matches!(
+            r.read_file(&p("/nope")).unwrap_err(),
+            OlfsError::NotFound(_)
+        ));
+        assert!(matches!(
+            r.stat(&p("/nope")).unwrap_err(),
+            OlfsError::NotFound(_)
+        ));
+        assert!(r.write_file(&p("/"), vec![]).is_err());
+    }
+
+    #[test]
+    fn regenerated_update_keeps_both_versions_readable() {
+        let mut r = ros();
+        r.write_file(&p("/v"), b"one".to_vec()).unwrap();
+        // Seal the bucket so the update cannot happen in place and the
+        // regenerating path of §4.6 is taken.
+        for b in 0..r.wbm.len() {
+            r.seal_bucket(b).unwrap();
+        }
+        let w2 = r.write_file(&p("/v"), b"two-longer".to_vec()).unwrap();
+        assert_eq!(w2.version, 2);
+        let latest = r.read_file(&p("/v")).unwrap();
+        assert_eq!(latest.data.as_ref(), b"two-longer");
+        let old = r.read_version(&p("/v"), 1).unwrap();
+        assert_eq!(old.data.as_ref(), b"one");
+        let versions = r.versions(&p("/v")).unwrap();
+        assert_eq!(versions.len(), 2);
+        assert_eq!(r.counters().updates, 1);
+    }
+
+    #[test]
+    fn in_place_update_physically_replaces_old_bytes() {
+        let mut r = ros();
+        r.write_file(&p("/v"), b"one".to_vec()).unwrap();
+        let w2 = r.write_file(&p("/v"), b"two".to_vec()).unwrap();
+        assert_eq!(w2.version, 2);
+        // Same segments: the bucket file was updated in place.
+        let latest = r.read_file(&p("/v")).unwrap();
+        assert_eq!(latest.data.as_ref(), b"two");
+        // The old bytes are gone; the version entry remains but reading
+        // it reports the loss honestly.
+        assert!(matches!(
+            r.read_version(&p("/v"), 1).unwrap_err(),
+            OlfsError::VersionGone { version: 1, .. }
+        ));
+        assert_eq!(r.versions(&p("/v")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn large_file_splits_across_images() {
+        let mut r = ros();
+        // Disc capacity is 4 MiB; a 6 MiB file must split.
+        let data: Vec<u8> = (0..6 * 1024 * 1024u32).map(|i| (i % 251) as u8).collect();
+        let w = r.write_file(&p("/big.bin"), data.clone()).unwrap();
+        assert!(w.segments.len() >= 2, "segments = {:?}", w.segments);
+        assert_eq!(r.counters().splits, 1);
+        let rd = r.read_file(&p("/big.bin")).unwrap();
+        assert_eq!(rd.data.len(), data.len());
+        assert_eq!(rd.data.as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn flush_burns_everything_and_reads_survive_eviction() {
+        let mut r = ros();
+        let mut originals = Vec::new();
+        for i in 0..5 {
+            let data = vec![i as u8 + 1; 500_000];
+            r.write_file(&p(&format!("/archive/f{i}")), data.clone())
+                .unwrap();
+            originals.push(data);
+        }
+        r.flush().unwrap();
+        assert!(r.counters().burns >= 1);
+        let (_, used, _) = r.store.da_counts();
+        assert!(used >= 1);
+        // Evict every burned image's disk copy to force disc reads.
+        let burned: Vec<ImageId> = (1..=r.store.len() as u64)
+            .map(ImageId)
+            .filter(|id| {
+                r.store
+                    .get(*id)
+                    .map(|i| i.burned.is_some() && i.on_disk())
+                    .unwrap_or(false)
+            })
+            .collect();
+        for id in burned {
+            r.store.evict_disk_copy(id).unwrap();
+            r.cache.remove(id);
+        }
+        for (i, data) in originals.iter().enumerate() {
+            let rd = r.read_file(&p(&format!("/archive/f{i}"))).unwrap();
+            assert_eq!(rd.data.as_ref(), data.as_slice(), "file {i}");
+        }
+        assert!(r.counters().fetches >= 1);
+    }
+
+    #[test]
+    fn table1_cold_read_latency_with_free_drives() {
+        let mut r = ros();
+        let data = vec![7u8; 100_000];
+        r.write_file(&p("/cold"), data.clone()).unwrap();
+        r.flush().unwrap();
+        // Make the read cold: evict the image and unload all bays.
+        let seg = r.mv.get(&p("/cold")).unwrap().latest().unwrap().segs[0];
+        if r.store.get(seg).map(|i| i.on_disk()).unwrap_or(false) {
+            r.store.evict_disk_copy(seg).unwrap();
+            r.cache.remove(seg);
+        }
+        for bay in 0..r.bays.len() {
+            if r.mech.bay_contents(bay).unwrap().is_some() {
+                r.unload_bay(bay).unwrap();
+            }
+        }
+        let rd = r.read_file(&p("/cold")).unwrap();
+        assert_eq!(rd.source, ReadSource::RollerFreeDrives);
+        let secs = rd.latency.as_secs_f64();
+        // Table 1: 70.553 s for a roller fetch with free drives.
+        assert!(
+            (secs - 70.55).abs() < 1.5,
+            "cold read = {secs:.2}s (paper: 70.553s)"
+        );
+        // Forepart answered long before the fetch finished (§4.8).
+        assert!(rd.first_byte_latency <= SimDuration::from_millis(2));
+        assert_eq!(rd.data.as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn warm_disc_in_drive_read_is_sub_second() {
+        let mut r = ros();
+        let data = vec![9u8; 50_000];
+        r.write_file(&p("/warm"), data.clone()).unwrap();
+        r.flush().unwrap();
+        let seg = r.mv.get(&p("/warm")).unwrap().latest().unwrap().segs[0];
+        if r.store.get(seg).map(|i| i.on_disk()).unwrap_or(false) {
+            r.store.evict_disk_copy(seg).unwrap();
+            r.cache.remove(seg);
+        }
+        // The array is still in the drives after its burn.
+        let rd = r.read_file(&p("/warm")).unwrap();
+        assert_eq!(rd.source, ReadSource::DiscInDrive);
+        let secs = rd.latency.as_secs_f64();
+        // Table 1: 0.223 s for a disc already in a drive (plus transfer).
+        assert!(secs < 0.5, "warm disc read = {secs:.3}s (paper: 0.223s)");
+        assert_eq!(rd.data.as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn damaged_disc_repairs_through_parity() {
+        let mut r = ros();
+        let mut originals = Vec::new();
+        for i in 0..5 {
+            let data = vec![0x30 + i as u8; 400_000];
+            r.write_file(&p(&format!("/raid/f{i}")), data.clone())
+                .unwrap();
+            originals.push(data);
+        }
+        r.flush().unwrap();
+        // Corrupt one burned disc's data area heavily.
+        let seg = r.mv.get(&p("/raid/f0")).unwrap().latest().unwrap().segs[0];
+        let loc = r.store.location_of(seg).expect("burned");
+        if r.store.get(seg).map(|i| i.on_disk()).unwrap_or(false) {
+            r.store.evict_disk_copy(seg).unwrap();
+            r.cache.remove(seg);
+        }
+        // The disc may be in a drive (post-burn); corrupt wherever it is.
+        let mut corrupted = false;
+        if let Some(d) = r.registry.disc_mut(loc.disc) {
+            for s in 0..50 {
+                d.corrupt_sector(s);
+            }
+            corrupted = true;
+        } else {
+            for bay in 0..r.bays.len() {
+                if r.mech.bay_contents(bay).unwrap() == Some(loc.slot) {
+                    let drive = r.bays[bay].drive_mut(loc.position as usize).unwrap();
+                    if let Some(d) = drive.disc_mut() {
+                        for s in 0..50 {
+                            d.corrupt_sector(s);
+                        }
+                        corrupted = true;
+                    }
+                }
+            }
+        }
+        assert!(corrupted, "disc must be reachable for fault injection");
+        let rd = r.read_file(&p("/raid/f0")).unwrap();
+        assert_eq!(rd.data.as_ref(), originals[0].as_slice());
+        assert_eq!(r.counters().repairs, 1);
+    }
+
+    #[test]
+    fn readdir_and_mkdir_and_unlink() {
+        let mut r = ros();
+        r.write_file(&p("/dir/a"), vec![1]).unwrap();
+        r.write_file(&p("/dir/b"), vec![2]).unwrap();
+        r.mkdir(&p("/dir/sub")).unwrap();
+        let mut ls = r.readdir(&p("/dir")).unwrap();
+        ls.sort();
+        assert_eq!(
+            ls,
+            vec![
+                ("a".to_string(), false),
+                ("b".to_string(), false),
+                ("sub".to_string(), true)
+            ]
+        );
+        r.unlink(&p("/dir/a")).unwrap();
+        assert!(matches!(
+            r.read_file(&p("/dir/a")).unwrap_err(),
+            OlfsError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn stat_reports_latest_version() {
+        let mut r = ros();
+        r.write_file(&p("/s"), vec![0u8; 123]).unwrap();
+        let (size, ver, _) = r.stat(&p("/s")).unwrap();
+        assert_eq!((size, ver), (123, 1));
+        r.write_file(&p("/s"), vec![0u8; 456]).unwrap();
+        let (size, ver, _) = r.stat(&p("/s")).unwrap();
+        assert_eq!((size, ver), (456, 2));
+    }
+
+    #[test]
+    fn background_burn_progresses_without_foreground_calls() {
+        let mut r = ros();
+        // Write enough to complete an array group (11 data images of
+        // ~4 MiB each at tiny scale would be huge; instead shrink by
+        // writing files that fill buckets quickly).
+        for i in 0..30 {
+            r.write_file(&p(&format!("/bulk/f{i}")), vec![i as u8; 900_000])
+                .unwrap();
+        }
+        // Some buckets sealed; force the rest and let time pass without
+        // foreground I/O.
+        for b in 0..r.wbm.len() {
+            if !r.wbm.bucket(b).unwrap().is_empty() {
+                r.seal_bucket(b).unwrap();
+            }
+        }
+        if let Some(g) = r.store.force_close_collecting() {
+            r.schedule_parity(g);
+        }
+        r.run_for(SimDuration::from_secs(3600));
+        assert!(r.counters().burns >= 1, "burn must complete in background");
+    }
+
+    #[test]
+    fn write_latency_is_independent_of_burning() {
+        let mut r = ros();
+        for i in 0..20 {
+            r.write_file(&p(&format!("/w/{i}")), vec![1u8; 800_000])
+                .unwrap();
+        }
+        // Burns are now in flight; a foreground write stays fast.
+        let w = r.write_file(&p("/quick"), vec![2u8; 1024]).unwrap();
+        assert!(
+            w.latency < SimDuration::from_millis(60),
+            "write under burn = {}",
+            w.latency
+        );
+    }
+
+    #[test]
+    fn version_ring_drops_old_versions() {
+        let mut r = ros();
+        for v in 0..20u32 {
+            r.write_file(&p("/ring"), vec![v as u8; 64]).unwrap();
+        }
+        let versions = r.versions(&p("/ring")).unwrap();
+        assert_eq!(versions.len(), params::MAX_VERSION_ENTRIES);
+        assert!(matches!(
+            r.read_version(&p("/ring"), 1).unwrap_err(),
+            OlfsError::VersionGone { .. }
+        ));
+        let rd = r.read_version(&p("/ring"), 20).unwrap();
+        assert_eq!(rd.data.as_ref(), &[19u8; 64][..]);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let mut r = ros();
+        r.write_file(&p("/empty"), Vec::<u8>::new()).unwrap();
+        let rd = r.read_file(&p("/empty")).unwrap();
+        assert!(rd.data.is_empty());
+    }
+
+    #[test]
+    fn drive_power_tracks_burning() {
+        let mut r = ros();
+        let idle = r.drive_power_watts();
+        for i in 0..30 {
+            r.write_file(&p(&format!("/pw/{i}")), vec![1u8; 900_000])
+                .unwrap();
+        }
+        // If a burn is active now, power is at peak for those drives.
+        let during = r.drive_power_watts();
+        assert!(during >= idle);
+    }
+}
+
+#[cfg(test)]
+mod sleep_tests {
+    use super::*;
+    use crate::config::RosConfig;
+
+    fn p(s: &str) -> UdfPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn idle_drives_spin_down_and_pay_the_mount_penalty() {
+        let mut r = Ros::new(RosConfig::tiny());
+        for i in 0..12 {
+            r.write_file(&p(&format!("/z/{i}")), vec![i as u8; 800_000])
+                .unwrap();
+        }
+        r.flush().unwrap();
+        r.evict_burned_copies();
+        // Back-to-back reads of two files on the same loaded array: the
+        // second drive is freshly used, no sleep penalty.
+        let warm = r.read_file(&p("/z/0")).unwrap();
+        assert_eq!(warm.source, ReadSource::DiscInDrive);
+        r.evict_burned_copies();
+        // Leave the library idle past the spin-down timeout.
+        r.run_for(ros_drive::params::sleep_after_idle() * 3);
+        let slept = r.read_file(&p("/z/0")).unwrap();
+        assert_eq!(slept.source, ReadSource::DiscInDrive);
+        let delta = slept.latency.as_secs_f64() - warm.latency.as_secs_f64();
+        // The sleeping drive pays ~2 s to spin up (minus the VFS mount
+        // charge the first read paid).
+        assert!(
+            (1.5..2.5).contains(&(delta + 0.12)),
+            "sleep penalty = {delta:.3}s"
+        );
+    }
+}
+
+#[cfg(test)]
+mod scrub_scheduler_tests {
+    use super::*;
+    use crate::config::RosConfig;
+
+    fn p(s: &str) -> UdfPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn scheduled_scrub_finds_damage_without_a_manual_call() {
+        let mut cfg = RosConfig::tiny();
+        cfg.scrub_interval = Some(SimDuration::from_secs(3600));
+        let mut r = Ros::new(cfg);
+        for i in 0..12 {
+            r.write_file(&p(&format!("/sc/{i}")), vec![i as u8; 700_000])
+                .unwrap();
+        }
+        r.flush().unwrap();
+        r.unload_all_bays().unwrap();
+        r.age_media(0.02);
+        // Two intervals pass; the library is idle, so the tick scrubs.
+        r.run_for(SimDuration::from_secs(2 * 3600 + 60));
+        let report = r.last_scrub_report().expect("scheduled scrub ran");
+        assert!(report.discs_scanned >= 3);
+        assert!(!report.damaged.is_empty());
+    }
+
+    #[test]
+    fn busy_ticks_skip_the_scrub_but_keep_rescheduling() {
+        let mut cfg = RosConfig::tiny();
+        cfg.scrub_interval = Some(SimDuration::from_millis(500));
+        let mut r = Ros::new(cfg);
+        // Queue a burn, then let ticks fire while it runs.
+        for i in 0..12 {
+            r.write_file(&p(&format!("/busy/{i}")), vec![i as u8; 800_000])
+                .unwrap();
+        }
+        r.seal_open_buckets().unwrap();
+        r.force_close_collecting_group();
+        // Ticks firing during the burn must skip gracefully and keep
+        // rescheduling; afterwards an idle tick scrubs the new discs.
+        r.run_until_quiescent(SimDuration::from_secs(7200));
+        r.unload_all_bays().unwrap();
+        r.run_for(SimDuration::from_secs(2));
+        let report = r.last_scrub_report().expect("idle tick scrubbed");
+        assert!(report.damaged.is_empty(), "fresh burns are clean");
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use crate::config::RosConfig;
+
+    fn p(s: &str) -> UdfPath {
+        s.parse().unwrap()
+    }
+
+    fn burned(prefetch: bool) -> Ros {
+        let mut cfg = RosConfig::tiny();
+        cfg.prefetch_array = prefetch;
+        cfg.read_cache_images = 64;
+        let mut r = Ros::new(cfg);
+        for i in 0..12 {
+            r.write_file(&p(&format!("/pf/{i}")), vec![i as u8; 800_000])
+                .unwrap();
+        }
+        r.flush().unwrap();
+        r.unload_all_bays().unwrap();
+        r.evict_burned_copies();
+        r
+    }
+
+    #[test]
+    fn prefetch_caches_sibling_images_across_unloads() {
+        let mut r = burned(true);
+        // One cold read triggers the fetch and schedules the prefetch.
+        r.read_file(&p("/pf/0")).unwrap();
+        // Let the background streaming finish, then send the array home.
+        r.run_for(SimDuration::from_secs(10));
+        r.unload_all_bays().unwrap();
+        // A sibling file in a DIFFERENT image now serves from cache.
+        let r2 = r.read_file(&p("/pf/11")).unwrap();
+        assert_eq!(r2.source, ReadSource::DiskImage, "prefetched sibling");
+        assert!(r2.latency < SimDuration::from_millis(50));
+        assert_eq!(r2.data.as_ref(), &[11u8; 800_000][..]);
+    }
+
+    #[test]
+    fn without_prefetch_the_sibling_needs_the_arm_again() {
+        let mut r = burned(false);
+        r.read_file(&p("/pf/0")).unwrap();
+        r.run_for(SimDuration::from_secs(10));
+        r.unload_all_bays().unwrap();
+        // Drop the single image the read itself cached.
+        r.evict_burned_copies();
+        let r2 = r.read_file(&p("/pf/11")).unwrap();
+        assert_eq!(r2.source, ReadSource::RollerFreeDrives);
+        assert!(r2.latency > SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn write_and_check_mode_roughly_doubles_burn_time() {
+        // At tiny disc scale the burn is milliseconds and vanishes under
+        // the ~70 s mechanical time, so assert on the burn model of the
+        // engine's own (check-mode) drives at paper scale.
+        let mut cfg = RosConfig::tiny();
+        cfg.write_and_check = true;
+        let checked_ros = Ros::new(cfg);
+        assert!(checked_ros.bays[0].iter().all(|d| d.check_mode));
+        let normal_ros = Ros::new(RosConfig::tiny());
+        assert!(normal_ros.bays[0].iter().all(|d| !d.check_mode));
+        let sizes = vec![ros_drive::params::BD25_BYTES; 12];
+        let checked = checked_ros.bays[0]
+            .simulate_array_burn(&sizes, ros_drive::DiscClass::Bd25, SimTime::ZERO)
+            .total
+            .as_secs_f64();
+        let normal = normal_ros.bays[0]
+            .simulate_array_burn(&sizes, ros_drive::DiscClass::Bd25, SimTime::ZERO)
+            .total
+            .as_secs_f64();
+        let ratio = checked / normal;
+        // §4.7: "almost halves the actual write throughput".
+        assert!((1.6..2.2).contains(&ratio), "ratio = {ratio:.2}");
+    }
+}

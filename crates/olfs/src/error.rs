@@ -1,0 +1,156 @@
+//! Unified OLFS error type.
+
+use crate::ids::{ArrayId, DiscId, ImageId};
+use ros_disk::volume::VolumeError;
+use ros_drive::media::MediaError;
+use ros_drive::DriveError;
+use ros_mech::ops::MechError;
+use ros_udf::bucket::BucketError;
+use ros_udf::tree::TreeError;
+
+/// Any error OLFS can surface to a caller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OlfsError {
+    /// The path does not exist in the global namespace.
+    NotFound(String),
+    /// A file already exists at the path.
+    AlreadyExists(String),
+    /// Invalid path or argument.
+    Invalid(String),
+    /// The requested version of a file is no longer recorded.
+    VersionGone {
+        /// The file path.
+        path: String,
+        /// The requested version.
+        version: u32,
+    },
+    /// An image is referenced but cannot be located anywhere.
+    ImageLost(ImageId),
+    /// A disc cannot be read and redundancy cannot repair it.
+    Unrecoverable {
+        /// The damaged image.
+        image: ImageId,
+        /// Its array, if assigned.
+        array: Option<ArrayId>,
+    },
+    /// No drive bay can serve a fetch and the policy forbids waiting.
+    NoDriveAvailable,
+    /// No empty disc array remains for burning.
+    OutOfDiscs,
+    /// The write buffer is out of space.
+    BufferFull,
+    /// Mechanical failure.
+    Mech(String),
+    /// Optical drive failure.
+    Drive(String),
+    /// Disk volume failure.
+    Volume(String),
+    /// Media failure naming the disc.
+    Media {
+        /// The failing disc.
+        disc: DiscId,
+        /// The underlying error text.
+        detail: String,
+    },
+    /// UDF bucket/tree failure.
+    Udf(String),
+    /// System is in a state that forbids the operation.
+    BadState(String),
+}
+
+impl core::fmt::Display for OlfsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OlfsError::NotFound(p) => write!(f, "not found: {p}"),
+            OlfsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            OlfsError::Invalid(m) => write!(f, "invalid: {m}"),
+            OlfsError::VersionGone { path, version } => {
+                write!(f, "version {version} of {path} is no longer recorded")
+            }
+            OlfsError::ImageLost(i) => write!(f, "image {i} lost"),
+            OlfsError::Unrecoverable { image, array } => {
+                write!(f, "image {image} unrecoverable (array {array:?})")
+            }
+            OlfsError::NoDriveAvailable => write!(f, "no drive available"),
+            OlfsError::OutOfDiscs => write!(f, "no empty disc arrays remain"),
+            OlfsError::BufferFull => write!(f, "disk write buffer full"),
+            OlfsError::Mech(m) => write!(f, "mechanical: {m}"),
+            OlfsError::Drive(m) => write!(f, "drive: {m}"),
+            OlfsError::Volume(m) => write!(f, "volume: {m}"),
+            OlfsError::Media { disc, detail } => write!(f, "disc {disc}: {detail}"),
+            OlfsError::Udf(m) => write!(f, "udf: {m}"),
+            OlfsError::BadState(m) => write!(f, "bad state: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OlfsError {}
+
+impl From<MechError> for OlfsError {
+    fn from(e: MechError) -> Self {
+        OlfsError::Mech(e.to_string())
+    }
+}
+
+impl From<DriveError> for OlfsError {
+    fn from(e: DriveError) -> Self {
+        OlfsError::Drive(e.to_string())
+    }
+}
+
+impl From<VolumeError> for OlfsError {
+    fn from(e: VolumeError) -> Self {
+        OlfsError::Volume(e.to_string())
+    }
+}
+
+impl From<BucketError> for OlfsError {
+    fn from(e: BucketError) -> Self {
+        OlfsError::Udf(e.to_string())
+    }
+}
+
+impl From<TreeError> for OlfsError {
+    fn from(e: TreeError) -> Self {
+        match e {
+            TreeError::NotFound(p) => OlfsError::NotFound(p),
+            TreeError::AlreadyExists(p) => OlfsError::AlreadyExists(p),
+            other => OlfsError::Udf(other.to_string()),
+        }
+    }
+}
+
+impl OlfsError {
+    /// Wraps a media error with its disc id.
+    pub fn media(disc: DiscId, e: MediaError) -> Self {
+        OlfsError::Media {
+            disc,
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_meaning() {
+        let e: OlfsError = TreeError::NotFound("/x".into()).into();
+        assert_eq!(e, OlfsError::NotFound("/x".into()));
+        let e: OlfsError = TreeError::AlreadyExists("/y".into()).into();
+        assert_eq!(e, OlfsError::AlreadyExists("/y".into()));
+        let e: OlfsError = TreeError::InvalidPath("zzz".into()).into();
+        assert!(matches!(e, OlfsError::Udf(_)));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = OlfsError::VersionGone {
+            path: "/a".into(),
+            version: 3,
+        };
+        assert!(e.to_string().contains("version 3"));
+        assert!(OlfsError::ImageLost(ImageId(9)).to_string().contains('9'));
+    }
+}

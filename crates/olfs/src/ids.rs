@@ -1,0 +1,67 @@
+//! Identifier newtypes used across OLFS.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A disc image's universal unique identifier (§4.1).
+    ImageId
+}
+
+id_type! {
+    /// A disc array group (11+1 or 10+2 images burned together).
+    ArrayId
+}
+
+id_type! {
+    /// A physical disc.
+    DiscId
+}
+
+id_type! {
+    /// A background task (burn, fetch, parity, scrub).
+    TaskId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_readably() {
+        assert_eq!(format!("{:?}", ImageId(7)), "ImageId(7)");
+        assert_eq!(format!("{}", DiscId(12)), "12");
+        assert_eq!(ArrayId(1), ArrayId(1));
+        assert!(TaskId(1) < TaskId(2));
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time property; just exercise hashing.
+        let mut set = std::collections::HashSet::new();
+        set.insert(ImageId(1));
+        set.insert(ImageId(1));
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! The Metadata Volume (MV) — the global namespace store (§4.2).
+//!
+//! "OLFS stores all files' mapping information in a small and fast volume,
+//! referred to as Metadata Volume (MV)... MV is built on a small RAID-1
+//! formatted as ext4... Besides index files, all system running states and
+//! maintenance information are also stored in MV in the Json format."
+//!
+//! `MetadataVolume` is the pure data structure: a sorted map from global
+//! paths to [`IndexFile`]s plus a directory set and a JSON state store.
+//! All *timing* (SSD RAID-1 random I/O, direct-I/O sync costs) is charged
+//! by the engine, keeping this module unit-testable.
+
+use crate::error::OlfsError;
+use crate::index::IndexFile;
+use ros_udf::UdfPath;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The metadata volume contents.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetadataVolume {
+    /// Index files keyed by global path string.
+    files: BTreeMap<String, IndexFile>,
+    /// All directories ever created (the namespace skeleton).
+    dirs: BTreeSet<String>,
+    /// System running state, JSON-valued (§4.2's checkpoint store).
+    state: BTreeMap<String, serde_json::Value>,
+}
+
+impl MetadataVolume {
+    /// Creates an empty MV with just the root directory.
+    pub fn new() -> Self {
+        let mut dirs = BTreeSet::new();
+        dirs.insert("/".to_string());
+        MetadataVolume {
+            files: BTreeMap::new(),
+            dirs,
+            state: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up a file's index.
+    pub fn get(&self, path: &UdfPath) -> Option<&IndexFile> {
+        self.files.get(&path.to_string())
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, path: &UdfPath) -> Option<&mut IndexFile> {
+        self.files.get_mut(&path.to_string())
+    }
+
+    /// Returns true if a file exists at the path.
+    pub fn is_file(&self, path: &UdfPath) -> bool {
+        self.files.contains_key(&path.to_string())
+    }
+
+    /// Returns true if a directory exists at the path.
+    pub fn is_dir(&self, path: &UdfPath) -> bool {
+        self.dirs.contains(&path.to_string())
+    }
+
+    /// Creates an index file (and its ancestor directories).
+    pub fn create(&mut self, path: &UdfPath) -> Result<&mut IndexFile, OlfsError> {
+        let key = path.to_string();
+        if self.files.contains_key(&key) {
+            return Err(OlfsError::AlreadyExists(key));
+        }
+        if self.dirs.contains(&key) {
+            return Err(OlfsError::Invalid(format!("{key} is a directory")));
+        }
+        let mut dir = path.parent();
+        while let Some(d) = dir {
+            if self.files.contains_key(&d.to_string()) {
+                return Err(OlfsError::Invalid(format!("{d} is a file")));
+            }
+            self.dirs.insert(d.to_string());
+            dir = d.parent();
+        }
+        Ok(self.files.entry(key).or_default())
+    }
+
+    /// Creates a directory path explicitly.
+    pub fn mkdir_p(&mut self, path: &UdfPath) -> Result<(), OlfsError> {
+        let key = path.to_string();
+        if self.files.contains_key(&key) {
+            return Err(OlfsError::Invalid(format!("{key} is a file")));
+        }
+        let mut cur = Some(path.clone());
+        while let Some(d) = cur {
+            if self.files.contains_key(&d.to_string()) {
+                return Err(OlfsError::Invalid(format!("{d} is a file")));
+            }
+            self.dirs.insert(d.to_string());
+            cur = d.parent();
+        }
+        Ok(())
+    }
+
+    /// Removes a file from the global view (a tombstone in spirit: disc
+    /// data remains, §4.6's provenance survives in old MV snapshots).
+    pub fn unlink(&mut self, path: &UdfPath) -> Result<IndexFile, OlfsError> {
+        self.files
+            .remove(&path.to_string())
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))
+    }
+
+    /// Lists the immediate children of a directory: `(name, is_dir)`.
+    pub fn list(&self, dir: &UdfPath) -> Result<Vec<(String, bool)>, OlfsError> {
+        let key = dir.to_string();
+        if !self.dirs.contains(&key) {
+            return Err(OlfsError::NotFound(key));
+        }
+        let prefix = if key == "/" {
+            "/".to_string()
+        } else {
+            format!("{key}/")
+        };
+        let mut out: BTreeMap<String, bool> = BTreeMap::new();
+        let child_of = |full: &str| -> Option<(String, bool)> {
+            let rest = full.strip_prefix(&prefix)?;
+            if rest.is_empty() {
+                return None;
+            }
+            match rest.split_once('/') {
+                Some((head, _)) => Some((head.to_string(), true)),
+                None => Some((rest.to_string(), false)),
+            }
+        };
+        for d in self.dirs.range(prefix.clone()..) {
+            if !d.starts_with(&prefix) {
+                break;
+            }
+            if let Some((name, _)) = child_of(d) {
+                out.insert(name, true);
+            }
+        }
+        for f in self.files.range(prefix.clone()..) {
+            if !f.0.starts_with(&prefix) {
+                break;
+            }
+            if let Some((name, is_dir)) = child_of(f.0) {
+                out.entry(name).or_insert(is_dir);
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// Iterates over every `(path, index)` pair.
+    pub fn iter_files(&self) -> impl Iterator<Item = (&String, &IndexFile)> {
+        self.files.iter()
+    }
+
+    /// Number of index files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Number of directories (including the root).
+    pub fn dir_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// Total MV bytes consumed: index files plus a block+inode per
+    /// directory (§4.2's 2.3 TB-per-2-billion-entries accounting).
+    pub fn usage_bytes(&self) -> u64 {
+        let files: u64 = self.files.values().map(IndexFile::mv_bytes).sum();
+        let dirs = self.dirs.len() as u64
+            * (crate::params::MV_INODE_BYTES + crate::params::MV_BLOCK_BYTES);
+        files + dirs
+    }
+
+    /// Stores a JSON state record (DAindex, DILindex, checkpoints...).
+    pub fn put_state(&mut self, key: impl Into<String>, value: serde_json::Value) {
+        self.state.insert(key.into(), value);
+    }
+
+    /// Reads a JSON state record.
+    pub fn get_state(&self, key: &str) -> Option<&serde_json::Value> {
+        self.state.get(key)
+    }
+
+    /// Serialises the whole MV (for periodic burning to discs, §4.2).
+    pub fn snapshot(&self) -> String {
+        serde_json::to_string(self).expect("MV always serializes")
+    }
+
+    /// Restores an MV from a snapshot (§4.2: "Once MV fails, the entire
+    /// global namespace can be recovered from discs").
+    pub fn restore(snapshot: &str) -> Result<Self, OlfsError> {
+        serde_json::from_str(snapshot)
+            .map_err(|e| OlfsError::BadState(format!("corrupt MV snapshot: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ImageId;
+    use crate::index::LocTag;
+
+    fn p(s: &str) -> UdfPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn create_builds_namespace() {
+        let mut mv = MetadataVolume::new();
+        mv.create(&p("/a/b/file")).unwrap();
+        assert!(mv.is_file(&p("/a/b/file")));
+        assert!(mv.is_dir(&p("/a")));
+        assert!(mv.is_dir(&p("/a/b")));
+        assert!(mv.is_dir(&p("/")));
+        assert_eq!(mv.file_count(), 1);
+        assert_eq!(mv.dir_count(), 3);
+    }
+
+    #[test]
+    fn create_conflicts() {
+        let mut mv = MetadataVolume::new();
+        mv.create(&p("/f")).unwrap();
+        assert!(matches!(
+            mv.create(&p("/f")).unwrap_err(),
+            OlfsError::AlreadyExists(_)
+        ));
+        // A file cannot be a directory on the path of another file.
+        assert!(matches!(
+            mv.create(&p("/f/inner")).unwrap_err(),
+            OlfsError::Invalid(_)
+        ));
+        mv.mkdir_p(&p("/d")).unwrap();
+        assert!(matches!(
+            mv.create(&p("/d")).unwrap_err(),
+            OlfsError::Invalid(_)
+        ));
+        assert!(matches!(
+            mv.mkdir_p(&p("/f")).unwrap_err(),
+            OlfsError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn listing_separates_dirs_and_files() {
+        let mut mv = MetadataVolume::new();
+        mv.create(&p("/root/one.txt")).unwrap();
+        mv.create(&p("/root/sub/two.txt")).unwrap();
+        mv.mkdir_p(&p("/root/empty")).unwrap();
+        let mut ls = mv.list(&p("/root")).unwrap();
+        ls.sort();
+        assert_eq!(
+            ls,
+            vec![
+                ("empty".to_string(), true),
+                ("one.txt".to_string(), false),
+                ("sub".to_string(), true),
+            ]
+        );
+        let top = mv.list(&p("/")).unwrap();
+        assert_eq!(top, vec![("root".to_string(), true)]);
+        assert!(mv.list(&p("/missing")).is_err());
+    }
+
+    #[test]
+    fn listing_does_not_leak_siblings() {
+        let mut mv = MetadataVolume::new();
+        mv.create(&p("/ab/x")).unwrap();
+        mv.create(&p("/abc/y")).unwrap();
+        let ls = mv.list(&p("/ab")).unwrap();
+        assert_eq!(ls, vec![("x".to_string(), false)]);
+    }
+
+    #[test]
+    fn unlink_removes_from_view() {
+        let mut mv = MetadataVolume::new();
+        mv.create(&p("/f")).unwrap();
+        let idx = mv.unlink(&p("/f")).unwrap();
+        assert_eq!(idx.version_count(), 0);
+        assert!(!mv.is_file(&p("/f")));
+        assert!(matches!(
+            mv.unlink(&p("/f")).unwrap_err(),
+            OlfsError::NotFound(_)
+        ));
+    }
+
+    #[test]
+    fn state_store_roundtrip() {
+        let mut mv = MetadataVolume::new();
+        mv.put_state("da_index", serde_json::json!({"0": "Used"}));
+        assert_eq!(
+            mv.get_state("da_index").unwrap()["0"],
+            serde_json::json!("Used")
+        );
+        assert!(mv.get_state("missing").is_none());
+    }
+
+    #[test]
+    fn snapshot_restores_everything() {
+        let mut mv = MetadataVolume::new();
+        mv.create(&p("/x/data"))
+            .unwrap()
+            .push_version(LocTag::Bucket, 7, 1, vec![ImageId(3)]);
+        mv.put_state("k", serde_json::json!(42));
+        let snap = mv.snapshot();
+        let back = MetadataVolume::restore(&snap).unwrap();
+        assert!(back.is_file(&p("/x/data")));
+        assert_eq!(back.get(&p("/x/data")).unwrap().latest().unwrap().size, 7);
+        assert_eq!(back.get_state("k").unwrap(), &serde_json::json!(42));
+        assert!(MetadataVolume::restore("garbage").is_err());
+    }
+
+    #[test]
+    fn usage_grows_with_entries() {
+        let mut mv = MetadataVolume::new();
+        let base = mv.usage_bytes();
+        mv.create(&p("/a/file"))
+            .unwrap()
+            .push_version(LocTag::Bucket, 10, 0, vec![ImageId(1)]);
+        let after = mv.usage_bytes();
+        // One file (inode + block) and one new directory (/a).
+        assert_eq!(after - base, 2 * (128 + 1024));
+    }
+}

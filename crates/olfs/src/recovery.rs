@@ -1,0 +1,319 @@
+//! Namespace recovery: MV snapshots on disc and full disc-scan rebuild.
+//!
+//! Two mechanisms from the paper:
+//!
+//! 1. **MV snapshot burning** (§4.2): "MV is periodically burned into
+//!    discs. Once MV fails, the entire global namespace can be recovered
+//!    from discs... As an experiment, ROS took half an hour to recover MV
+//!    from 120 discs."
+//! 2. **Disc-scan reconstruction** (§4.4): because every image carries
+//!    its files under their *unique global paths* with full ancestor
+//!    directories, "Even if all electronic and mechanical components
+//!    failed, all or partial data can be reconstructed by scanning all
+//!    survived discs."
+
+use crate::dim::DaState;
+use crate::engine::Ros;
+use crate::error::OlfsError;
+use crate::ids::ImageId;
+use crate::index::LocTag;
+use crate::mv::MetadataVolume;
+use crate::wbm::{parse_link_file_name, LinkFile};
+use ros_sim::SimDuration;
+use ros_udf::{SealedImage, UdfPath};
+use std::collections::{BTreeMap, HashMap};
+
+/// Directory MV snapshots are written under.
+pub const MV_SNAPSHOT_DIR: &str = "/.mv-snapshots";
+
+/// Chunk size for snapshot part files.
+const SNAPSHOT_PART_BYTES: usize = 512 * 1024;
+
+/// Result of a disc-scan rebuild.
+#[derive(Clone, Debug)]
+pub struct RebuildReport {
+    /// Trays read.
+    pub trays_read: usize,
+    /// Discs read.
+    pub discs_read: usize,
+    /// Data images successfully parsed.
+    pub images_parsed: usize,
+    /// Files recovered into the rebuilt namespace.
+    pub files_recovered: usize,
+    /// Simulated time the rebuild took (mechanics + disc reads).
+    pub elapsed: SimDuration,
+    /// The rebuilt metadata volume.
+    pub mv: MetadataVolume,
+}
+
+impl Ros {
+    /// Burns a snapshot of the current MV into the library (§4.2's
+    /// periodic MV burn). The snapshot is chunked into part files under
+    /// [`MV_SNAPSHOT_DIR`], written through the normal PBW path, and
+    /// flushed to disc. Returns `(sequence_number, part_count)`.
+    pub fn burn_mv_snapshot(&mut self) -> Result<(u64, usize), OlfsError> {
+        let seq = self
+            .mv
+            .get_state("mv_snapshot_seq")
+            .and_then(serde_json::Value::as_u64)
+            .unwrap_or(0)
+            + 1;
+        let snapshot = self.mv.snapshot().into_bytes();
+        let parts: Vec<&[u8]> = snapshot.chunks(SNAPSHOT_PART_BYTES).collect();
+        let count = parts.len();
+        for (i, part) in parts.into_iter().enumerate() {
+            let path: UdfPath = format!("{MV_SNAPSHOT_DIR}/{seq:06}/part-{i:06}")
+                .parse()
+                .map_err(|e| OlfsError::Udf(format!("{e}")))?;
+            self.write_file(&path, part.to_vec())?;
+        }
+        self.flush()?;
+        self.mv.put_state("mv_snapshot_seq", serde_json::json!(seq));
+        Ok((seq, count))
+    }
+
+    /// Recovers the MV from the newest snapshot found by scanning the
+    /// library's discs — the timed §4.2 experiment. Does not consult the
+    /// live MV (assumed lost); returns the restored volume and the
+    /// simulated recovery duration.
+    pub fn recover_mv_from_discs(&mut self) -> Result<(MetadataVolume, SimDuration), OlfsError> {
+        let start = self.now();
+        let scan =
+            self.scan_burned_images(|path, _| path.to_string().starts_with(MV_SNAPSHOT_DIR))?;
+        // Pick the newest snapshot sequence present.
+        let mut by_seq: BTreeMap<String, BTreeMap<String, Vec<u8>>> = BTreeMap::new();
+        for (path, _image, bytes) in scan.files {
+            let s = path.to_string();
+            let comps = path.components();
+            if comps.len() == 3 {
+                by_seq.entry(comps[1].clone()).or_default().insert(s, bytes);
+            }
+        }
+        let (_seq, parts) = by_seq
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| OlfsError::BadState("no MV snapshot found on discs".into()))?;
+        let mut joined = Vec::new();
+        for (_, part) in parts {
+            joined.extend_from_slice(&part);
+        }
+        let restored = MetadataVolume::restore(
+            core::str::from_utf8(&joined)
+                .map_err(|_| OlfsError::BadState("snapshot not UTF-8".into()))?,
+        )?;
+        Ok((restored, self.now().duration_since(start)))
+    }
+
+    /// Full §4.4 disaster rebuild: scans every burned disc, parses its
+    /// image, and reconstructs the namespace from the unique file paths,
+    /// link files and version shadows found on the media alone.
+    pub fn rebuild_namespace_from_discs(&mut self) -> Result<RebuildReport, OlfsError> {
+        let start = self.now();
+        let scan =
+            self.scan_burned_images(|path, _| !path.to_string().starts_with(MV_SNAPSHOT_DIR))?;
+
+        // Pass 1: classify occurrences.
+        struct Continuation {
+            offset: u64,
+        }
+        // (path, image) -> continuation info from link files.
+        let mut continuations: HashMap<(String, u64), Continuation> = HashMap::new();
+        // original path -> versions found as shadows.
+        let mut shadows: BTreeMap<String, Vec<(u32, ImageId, u64)>> = BTreeMap::new();
+        // regular occurrences: (path, image, len).
+        let mut regulars: Vec<(UdfPath, ImageId, u64)> = Vec::new();
+        for (path, image, bytes) in &scan.files {
+            let name = path.name().expect("scanned files are not root");
+            if let Some(orig_name) = parse_link_file_name(name) {
+                if let Some(link) = LinkFile::from_json(core::str::from_utf8(bytes).unwrap_or("")) {
+                    let orig = path.parent().expect("non-root").join(orig_name);
+                    continuations.insert(
+                        (orig.to_string(), image.0),
+                        Continuation {
+                            offset: link.offset,
+                        },
+                    );
+                }
+                continue;
+            }
+            if let Some(rest) = name.strip_prefix(".rosv") {
+                if let Some(dash) = rest.find('-') {
+                    if let Ok(ver) = rest[..dash].parse::<u32>() {
+                        let orig = path.parent().expect("non-root").join(&rest[dash + 1..]);
+                        shadows.entry(orig.to_string()).or_default().push((
+                            ver,
+                            *image,
+                            bytes.len() as u64,
+                        ));
+                        continue;
+                    }
+                }
+            }
+            regulars.push((path.clone(), *image, bytes.len() as u64));
+        }
+
+        // Pass 2: assemble base files, ordering subfiles by their link
+        // offsets (the first subfile has no link file, offset 0).
+        let mut base: BTreeMap<String, Vec<(u64, ImageId, u64)>> = BTreeMap::new();
+        for (path, image, len) in &regulars {
+            let key = path.to_string();
+            let offset = continuations
+                .get(&(key.clone(), image.0))
+                .map(|c| c.offset)
+                .unwrap_or(0);
+            base.entry(key).or_default().push((offset, *image, *len));
+        }
+
+        // Build the namespace.
+        let mut mv = MetadataVolume::new();
+        let mut files = 0usize;
+        for (path_str, parts) in &base {
+            let path: UdfPath = path_str.parse().expect("scanned paths parse");
+            let mut parts = parts.clone();
+            parts.sort_unstable();
+            parts.dedup_by_key(|(_, img, _)| *img);
+            let total_size: u64 = parts.iter().map(|(_, _, l)| *l).sum();
+            let segs: Vec<ImageId> = parts.iter().map(|(_, img, _)| *img).collect();
+            let idx = mv.create(&path)?;
+            idx.push_version(LocTag::Disc, total_size, 0, segs);
+            files += 1;
+            // Replay regenerated versions in order.
+            if let Some(list) = shadows.get(path_str) {
+                let mut list = list.clone();
+                list.sort_unstable();
+                for (ver, image, size) in list {
+                    let idx = mv.get_mut(&path).expect("created above");
+                    // Keep version numbers aligned by filling gaps.
+                    while idx.latest().map(|e| e.ver + 1).unwrap_or(1) < ver {
+                        let prev = idx.latest().cloned();
+                        let (psize, psegs) =
+                            prev.map(|e| (e.size, e.segs)).unwrap_or((0, Vec::new()));
+                        idx.push_version(LocTag::Disc, psize, 0, psegs);
+                    }
+                    idx.push_version(LocTag::Disc, size, 0, vec![image]);
+                }
+            }
+        }
+        // Shadow-only files (base version's image lost): best effort.
+        for (orig, list) in &shadows {
+            if base.contains_key(orig) {
+                continue;
+            }
+            let path: UdfPath = orig.parse().expect("scanned paths parse");
+            let idx = mv.create(&path)?;
+            let mut list = list.clone();
+            list.sort_unstable();
+            for (_, image, size) in list {
+                idx.push_version(LocTag::Disc, size, 0, vec![image]);
+            }
+            files += 1;
+        }
+
+        Ok(RebuildReport {
+            trays_read: scan.trays_read,
+            discs_read: scan.discs_read,
+            images_parsed: scan.images_parsed,
+            files_recovered: files,
+            elapsed: self.now().duration_since(start),
+            mv,
+        })
+    }
+
+    /// Replaces the live MV with a recovered one (end of a disaster
+    /// drill).
+    pub fn adopt_namespace(&mut self, mv: MetadataVolume) {
+        self.mv = mv;
+    }
+
+    /// Scans every Used tray: loads it, reads each disc's data tracks in
+    /// parallel, parses the images and collects files matching `keep`.
+    fn scan_burned_images(
+        &mut self,
+        keep: impl Fn(&UdfPath, &[u8]) -> bool,
+    ) -> Result<ScanResult, OlfsError> {
+        let mut result = ScanResult::default();
+        let layout = self.cfg.layout;
+        let used: Vec<u32> = (0..layout.total_slots())
+            .filter(|i| self.store.da_state(*i) == Some(DaState::Used))
+            .collect();
+        for slot_index in used {
+            let slot = layout.slot_at(slot_index);
+            // Free a bay (the scan monopolises bay 0's worth of drives).
+            let bay = self.free_any_bay()?;
+            self.load_bay(slot, bay)?;
+            result.trays_read += 1;
+            // Read all discs in parallel: charge the slowest drive.
+            let mut slowest = SimDuration::ZERO;
+            for pos in 0..self.cfg.drives_per_bay {
+                let image_ids: Vec<u64> = {
+                    let Some(disc) = self.bays[bay].drive(pos).and_then(|d| d.disc()) else {
+                        continue;
+                    };
+                    if disc.is_blank() {
+                        continue;
+                    }
+                    disc.tracks().iter().map(|t| t.image_id).collect()
+                };
+                if image_ids.is_empty() {
+                    continue;
+                }
+                result.discs_read += 1;
+                let mut drive_time = SimDuration::ZERO;
+                for image_id in image_ids {
+                    let drive = self.bays[bay].drive_mut(pos).expect("drive exists");
+                    let timed = match drive.read_image(image_id) {
+                        Ok(t) => t,
+                        Err(_) => continue, // Damaged track: skip in a scan.
+                    };
+                    drive_time += timed.duration;
+                    let bytes = match timed.payload {
+                        ros_drive::Payload::Inline(b) => b,
+                        ros_drive::Payload::Synthetic { .. } => continue,
+                    };
+                    // Parity payloads normally fail to parse; the
+                    // degenerate single-member XOR parity *does* parse
+                    // but carries a mismatched embedded image id.
+                    let Ok(img) = SealedImage::from_bytes(bytes) else {
+                        continue;
+                    };
+                    if img.image_id() != image_id {
+                        continue;
+                    }
+                    result.images_parsed += 1;
+                    for (path, _meta) in img.scan_files() {
+                        if let Ok(data) = img.read(&path) {
+                            if keep(&path, &data) {
+                                result.files.push((path, ImageId(image_id), data.to_vec()));
+                            }
+                        }
+                    }
+                }
+                slowest = slowest.max(drive_time);
+            }
+            self.run_for(slowest);
+            self.unload_bay(bay)?;
+        }
+        Ok(result)
+    }
+
+    fn free_any_bay(&mut self) -> Result<usize, OlfsError> {
+        for bay in 0..self.bays.len() {
+            if self.mech.bay_contents(bay).expect("bay exists").is_none() {
+                return Ok(bay);
+            }
+        }
+        // Unload bay 0 (scans run on an otherwise idle system).
+        self.unload_bay(0)?;
+        Ok(0)
+    }
+}
+
+#[derive(Default)]
+struct ScanResult {
+    trays_read: usize,
+    discs_read: usize,
+    images_parsed: usize,
+    /// Every matching file occurrence: the same path may appear in
+    /// several images (split subfiles, version shadows).
+    files: Vec<(UdfPath, ImageId, Vec<u8>)>,
+}

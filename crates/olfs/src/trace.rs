@@ -1,0 +1,146 @@
+//! Operation traces — the instrumentation behind Figure 7.
+//!
+//! §5.2: "To accurately measure the I/O latency caused by OLFS precisely,
+//! we add timestamps in OLFS code to trace the internal OLFS operation".
+//! Every POSIX-level operation records its internal steps (stat, mknod,
+//! write, read, close...) with durations; the kernel-user switches between
+//! consecutive steps are charged on top.
+
+use crate::params;
+use ros_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One internal OLFS operation within a POSIX call.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpStep {
+    /// Step name ("stat", "mknod", "write", "read", "close"...).
+    pub name: String,
+    /// Time inside the step (device time + per-op overhead).
+    pub duration: SimDuration,
+}
+
+/// The trace of one POSIX-level operation.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// Steps in execution order.
+    pub steps: Vec<OpStep>,
+    /// Extra time charged outside internal steps (e.g. SMB round trips,
+    /// mechanical waits); labelled for the report.
+    pub extra: Vec<OpStep>,
+}
+
+impl OpTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        OpTrace::default()
+    }
+
+    /// Records an internal step: the device time plus the per-operation
+    /// FUSE/direct-I/O overhead of §5.3.
+    pub fn step(&mut self, name: &str, device_time: SimDuration) -> SimDuration {
+        let duration = params::internal_op_overhead() + device_time;
+        self.steps.push(OpStep {
+            name: name.to_string(),
+            duration,
+        });
+        duration
+    }
+
+    /// Records extra non-step time (mechanical fetch, SMB overhead...).
+    pub fn extra(&mut self, name: &str, duration: SimDuration) {
+        self.extra.push(OpStep {
+            name: name.to_string(),
+            duration,
+        });
+    }
+
+    /// Number of kernel-user switches: one between each pair of
+    /// consecutive internal steps.
+    pub fn switches(&self) -> u64 {
+        self.steps.len().saturating_sub(1) as u64
+    }
+
+    /// Total latency: steps + switches + extra.
+    pub fn total(&self) -> SimDuration {
+        let steps: SimDuration = self.steps.iter().map(|s| s.duration).sum();
+        let extra: SimDuration = self.extra.iter().map(|s| s.duration).sum();
+        steps + params::kernel_user_switch() * self.switches() + extra
+    }
+
+    /// The step names in order (Figure 7's x-axis).
+    pub fn step_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Counts steps with a given name.
+    pub fn count(&self, name: &str) -> usize {
+        self.steps.iter().filter(|s| s.name == name).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_olfs_write_sequence() {
+        // stat, mknod, stat, write, close — §5.3's five internal ops.
+        let mut t = OpTrace::new();
+        for name in ["stat", "mknod", "stat", "write", "close"] {
+            let device = if name == "write" {
+                crate::params::bucket_write_device()
+            } else {
+                SimDuration::ZERO
+            };
+            t.step(name, device);
+        }
+        assert_eq!(t.switches(), 4);
+        let ms = t.total().as_millis_f64();
+        assert!((ms - 16.0).abs() < 0.5, "OLFS write = {ms} ms, paper: 16");
+    }
+
+    #[test]
+    fn figure7_olfs_read_sequence() {
+        let mut t = OpTrace::new();
+        for name in ["stat", "read", "close"] {
+            let device = if name == "read" {
+                crate::params::bucket_read_device()
+            } else {
+                SimDuration::ZERO
+            };
+            t.step(name, device);
+        }
+        assert_eq!(t.switches(), 2);
+        let ms = t.total().as_millis_f64();
+        assert!((ms - 9.0).abs() < 0.5, "OLFS read = {ms} ms, paper: 9");
+    }
+
+    #[test]
+    fn device_time_adds_on_top() {
+        let mut t = OpTrace::new();
+        t.step("read", SimDuration::from_millis(100));
+        assert!(t.total() >= SimDuration::from_millis(100));
+        assert_eq!(t.switches(), 0);
+    }
+
+    #[test]
+    fn extra_time_is_counted_but_not_switched() {
+        let mut t = OpTrace::new();
+        t.step("stat", SimDuration::ZERO);
+        t.extra("mechanical fetch", SimDuration::from_secs(70));
+        let total = t.total().as_secs_f64();
+        assert!(total > 70.0 && total < 70.1);
+        assert_eq!(t.switches(), 0);
+    }
+
+    #[test]
+    fn counting_and_names() {
+        let mut t = OpTrace::new();
+        for name in ["stat", "stat", "mknod", "stat", "write", "close"] {
+            t.step(name, SimDuration::ZERO);
+        }
+        assert_eq!(t.count("stat"), 3);
+        assert_eq!(t.count("write"), 1);
+        assert_eq!(t.step_names()[2], "mknod");
+    }
+}

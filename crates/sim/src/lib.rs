@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation engine for the ROS optical library.
+//!
+//! Every hardware component in the ROS reproduction (roller, robotic arm,
+//! optical drives, disk tier) is modelled on a *logical* clock so that an
+//! hour-long disc burn completes in microseconds of wall time while still
+//! reporting paper-scale latencies. This crate provides the shared
+//! foundations:
+//!
+//! - [`SimTime`] / [`SimDuration`]: nanosecond-resolution logical time,
+//! - [`Bandwidth`]: byte-per-second transfer rates with exact
+//!   duration-for-size arithmetic,
+//! - [`EventQueue`]: a deterministic future-event list with stable FIFO
+//!   tie-breaking,
+//! - [`SimRng`]: a seedable, reproducible random number generator,
+//! - [`stats`]: latency recorders and time-series samplers used by the
+//!   benchmark harness to regenerate the paper's figures.
+//!
+//! The engine is intentionally *passive*: component models compute durations
+//! and the owning engine (in `ros-olfs`) schedules completion events. This
+//! keeps hardware models pure and unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use bandwidth::Bandwidth;
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,517 @@
+//! Measurement collection for the benchmark harness.
+//!
+//! Two collectors cover everything the paper's evaluation reports:
+//!
+//! - [`LatencyRecorder`] accumulates per-operation latencies and reports
+//!   mean / min / max / percentiles (Tables 1 and 3, Figure 7).
+//! - [`ThroughputSeries`] samples an instantaneous rate over simulated time
+//!   (Figures 8-10's recording-speed curves).
+
+use crate::bandwidth::Bandwidth;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Accumulates operation latencies and reports summary statistics.
+///
+/// # Examples
+///
+/// ```
+/// use ros_sim::stats::LatencyRecorder;
+/// use ros_sim::SimDuration;
+///
+/// let mut rec = LatencyRecorder::new("file write");
+/// rec.record(SimDuration::from_millis(16));
+/// rec.record(SimDuration::from_millis(14));
+/// assert_eq!(rec.count(), 2);
+/// assert_eq!(rec.mean(), SimDuration::from_millis(15));
+/// ```
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    label: String,
+    samples: Vec<SimDuration>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder with a human-readable label.
+    pub fn new(label: impl Into<String>) -> Self {
+        LatencyRecorder {
+            label: label.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Returns the recorder's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples.push(d);
+    }
+
+    /// Returns the number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns the arithmetic mean, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        SimDuration::from_nanos((total / self.samples.len() as u128) as u64)
+    }
+
+    /// Returns the smallest sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Returns the largest sample, or zero when empty.
+    pub fn max(&self) -> SimDuration {
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Returns the `q`-quantile (0.0 = min, 0.5 = median, 1.0 = max) using
+    /// nearest-rank on a sorted copy; zero when empty.
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    }
+
+    /// Returns all samples in recording order.
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// One `(time, bandwidth)` sample of a throughput curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RatePoint {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Instantaneous transfer rate at that instant.
+    pub rate: Bandwidth,
+}
+
+/// Samples an instantaneous transfer rate over simulated time.
+///
+/// Used to regenerate the paper's recording-speed curves: Figure 8 (single
+/// 25 GB drive ramp), Figure 9 (12-drive aggregate) and Figure 10 (100 GB
+/// fail-safe oscillation).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ThroughputSeries {
+    label: String,
+    points: Vec<RatePoint>,
+}
+
+impl ThroughputSeries {
+    /// Creates an empty series with a human-readable label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ThroughputSeries {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Returns the series label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Appends a sample; samples must be pushed in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the last recorded sample.
+    pub fn push(&mut self, at: SimTime, rate: Bandwidth) {
+        if let Some(last) = self.points.last() {
+            assert!(at >= last.at, "throughput samples must be time-ordered");
+        }
+        self.points.push(RatePoint { at, rate });
+    }
+
+    /// Returns the recorded samples.
+    pub fn points(&self) -> &[RatePoint] {
+        &self.points
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Returns the peak sampled rate, or zero when empty.
+    pub fn peak(&self) -> Bandwidth {
+        self.points
+            .iter()
+            .map(|p| p.rate)
+            .fold(Bandwidth::ZERO, Bandwidth::max)
+    }
+
+    /// Returns the time-weighted average rate over the sampled interval.
+    ///
+    /// Each sample's rate is held until the next sample (zero-order hold);
+    /// an empty or single-point series averages to that point's rate.
+    pub fn time_weighted_mean(&self) -> Bandwidth {
+        match self.points.len() {
+            0 => Bandwidth::ZERO,
+            1 => self.points[0].rate,
+            _ => {
+                let mut weighted = 0.0;
+                let mut total = 0.0;
+                for pair in self.points.windows(2) {
+                    let dt = pair[1].at.duration_since(pair[0].at).as_secs_f64();
+                    weighted += pair[0].rate.bytes_per_sec() * dt;
+                    total += dt;
+                }
+                if total == 0.0 {
+                    self.points[0].rate
+                } else {
+                    Bandwidth::from_bytes_per_sec(weighted / total)
+                }
+            }
+        }
+    }
+
+    /// Returns the span between the first and last sample.
+    pub fn span(&self) -> SimDuration {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.at.duration_since(a.at),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Sums several series point-by-point onto a shared time grid, producing
+    /// the aggregate curve (e.g. 12 drives burning concurrently, Figure 9).
+    ///
+    /// Each input series is sampled with zero-order hold at every instant
+    /// appearing in any series.
+    pub fn aggregate<'a>(
+        label: impl Into<String>,
+        series: impl IntoIterator<Item = &'a ThroughputSeries>,
+    ) -> ThroughputSeries {
+        let series: Vec<&ThroughputSeries> = series.into_iter().collect();
+        let mut grid: Vec<SimTime> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.at))
+            .collect();
+        grid.sort_unstable();
+        grid.dedup();
+        let mut out = ThroughputSeries::new(label);
+        for t in grid {
+            let total: Bandwidth = series.iter().map(|s| s.rate_at(t)).sum();
+            out.push(t, total);
+        }
+        out
+    }
+
+    /// Returns the zero-order-hold rate at instant `t` (zero before the
+    /// first sample and after the last sample's hold is irrelevant here
+    /// because a finished burn contributes zero).
+    pub fn rate_at(&self, t: SimTime) -> Bandwidth {
+        let mut current = Bandwidth::ZERO;
+        for p in &self.points {
+            if p.at <= t {
+                current = p.rate;
+            } else {
+                break;
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_statistics() {
+        let mut rec = LatencyRecorder::new("op");
+        for ms in [10u64, 20, 30, 40, 50] {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(rec.count(), 5);
+        assert_eq!(rec.mean(), SimDuration::from_millis(30));
+        assert_eq!(rec.min(), SimDuration::from_millis(10));
+        assert_eq!(rec.max(), SimDuration::from_millis(50));
+        assert_eq!(rec.percentile(0.5), SimDuration::from_millis(30));
+        assert_eq!(rec.percentile(0.0), SimDuration::from_millis(10));
+        assert_eq!(rec.percentile(1.0), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn empty_recorder_is_zero() {
+        let rec = LatencyRecorder::new("empty");
+        assert_eq!(rec.mean(), SimDuration::ZERO);
+        assert_eq!(rec.min(), SimDuration::ZERO);
+        assert_eq!(rec.max(), SimDuration::ZERO);
+        assert_eq!(rec.percentile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new("a");
+        a.record(SimDuration::from_millis(10));
+        let mut b = LatencyRecorder::new("b");
+        b.record(SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn series_peak_and_mean() {
+        let mut s = ThroughputSeries::new("burn");
+        s.push(SimTime::from_secs(0), Bandwidth::from_mb_per_sec(10.0));
+        s.push(SimTime::from_secs(10), Bandwidth::from_mb_per_sec(30.0));
+        s.push(SimTime::from_secs(20), Bandwidth::from_mb_per_sec(30.0));
+        assert_eq!(s.peak(), Bandwidth::from_mb_per_sec(30.0));
+        // 10 MB/s for 10 s then 30 MB/s for 10 s -> 20 MB/s average.
+        assert!((s.time_weighted_mean().mb_per_sec() - 20.0).abs() < 1e-9);
+        assert_eq!(s.span(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn series_rejects_time_travel() {
+        let mut s = ThroughputSeries::new("bad");
+        s.push(SimTime::from_secs(5), Bandwidth::ZERO);
+        s.push(SimTime::from_secs(1), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn rate_at_holds_last_sample() {
+        let mut s = ThroughputSeries::new("hold");
+        s.push(SimTime::from_secs(1), Bandwidth::from_mb_per_sec(5.0));
+        s.push(SimTime::from_secs(3), Bandwidth::from_mb_per_sec(7.0));
+        assert_eq!(s.rate_at(SimTime::ZERO), Bandwidth::ZERO);
+        assert_eq!(
+            s.rate_at(SimTime::from_secs(2)),
+            Bandwidth::from_mb_per_sec(5.0)
+        );
+        assert_eq!(
+            s.rate_at(SimTime::from_secs(9)),
+            Bandwidth::from_mb_per_sec(7.0)
+        );
+    }
+
+    #[test]
+    fn aggregate_sums_concurrent_series() {
+        let mut a = ThroughputSeries::new("a");
+        a.push(SimTime::from_secs(0), Bandwidth::from_mb_per_sec(10.0));
+        a.push(SimTime::from_secs(10), Bandwidth::ZERO);
+        let mut b = ThroughputSeries::new("b");
+        b.push(SimTime::from_secs(5), Bandwidth::from_mb_per_sec(20.0));
+        b.push(SimTime::from_secs(15), Bandwidth::ZERO);
+        let sum = ThroughputSeries::aggregate("sum", [&a, &b]);
+        assert_eq!(
+            sum.rate_at(SimTime::from_secs(2)),
+            Bandwidth::from_mb_per_sec(10.0)
+        );
+        assert_eq!(
+            sum.rate_at(SimTime::from_secs(7)),
+            Bandwidth::from_mb_per_sec(30.0)
+        );
+        assert_eq!(
+            sum.rate_at(SimTime::from_secs(12)),
+            Bandwidth::from_mb_per_sec(20.0)
+        );
+        assert_eq!(sum.rate_at(SimTime::from_secs(20)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn single_point_series_mean_is_that_point() {
+        let mut s = ThroughputSeries::new("one");
+        s.push(SimTime::from_secs(1), Bandwidth::from_mb_per_sec(42.0));
+        assert_eq!(s.time_weighted_mean(), Bandwidth::from_mb_per_sec(42.0));
+        assert!(ThroughputSeries::new("none").time_weighted_mean().is_zero());
+    }
+}
+
+/// A fixed-bucket latency histogram with logarithmic bucket edges, for
+/// reporting latency distributions (e.g. the runner's per-op spread
+/// between disk hits and mechanical fetches).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    label: String,
+    /// Bucket upper edges, ascending; the last bucket is open-ended.
+    edges: Vec<SimDuration>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with logarithmic edges from `min` up to
+    /// `max` (both inclusive bounds of the edge range), `per_decade`
+    /// buckets per 10x.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero, `max <= min`, or `per_decade` is zero.
+    pub fn logarithmic(
+        label: impl Into<String>,
+        min: SimDuration,
+        max: SimDuration,
+        per_decade: u32,
+    ) -> Self {
+        assert!(!min.is_zero(), "min edge must be positive");
+        assert!(max > min, "max must exceed min");
+        assert!(per_decade > 0, "need at least one bucket per decade");
+        let mut edges = Vec::new();
+        let factor = 10f64.powf(1.0 / per_decade as f64);
+        let mut edge = min.as_secs_f64();
+        while edge <= max.as_secs_f64() * (1.0 + 1e-12) {
+            edges.push(SimDuration::from_secs_f64(edge));
+            edge *= factor;
+        }
+        let n = edges.len() + 1; // + the open-ended overflow bucket.
+        Histogram {
+            label: label.into(),
+            edges,
+            counts: vec![0; n],
+        }
+    }
+
+    /// Returns the label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| d <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(upper_edge, count)`; the final entry has `None` as its
+    /// edge (the overflow bucket).
+    pub fn buckets(&self) -> impl Iterator<Item = (Option<SimDuration>, u64)> + '_ {
+        self.edges
+            .iter()
+            .copied()
+            .map(Some)
+            .chain(core::iter::once(None))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// The smallest edge at or below which at least `q` of the samples
+    /// fall (an upper bound on the q-quantile); `None` when the quantile
+    /// lands in the overflow bucket or the histogram is empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<SimDuration> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (edge, count) in self.buckets() {
+            acc += count;
+            if acc >= target {
+                return edge;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+
+    fn hist() -> Histogram {
+        Histogram::logarithmic(
+            "latency",
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(100),
+            1,
+        )
+    }
+
+    #[test]
+    fn buckets_span_the_range_logarithmically() {
+        let h = hist();
+        // Edges at 1ms, 10ms, 100ms, 1s, 10s, 100s + overflow.
+        assert_eq!(h.buckets().count(), 7);
+    }
+
+    #[test]
+    fn samples_land_in_the_right_buckets() {
+        let mut h = hist();
+        h.record(SimDuration::from_micros(500)); // <= 1ms bucket.
+        h.record(SimDuration::from_millis(9)); // <= 10ms.
+        h.record(SimDuration::from_secs(70)); // <= 100s.
+        h.record(SimDuration::from_secs(5000)); // Overflow.
+        assert_eq!(h.total(), 4);
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn quantile_upper_bounds() {
+        let mut h = hist();
+        for _ in 0..90 {
+            h.record(SimDuration::from_millis(5)); // 10ms bucket.
+        }
+        for _ in 0..10 {
+            h.record(SimDuration::from_secs(70)); // 100s bucket.
+        }
+        assert_eq!(
+            h.quantile_upper_bound(0.5),
+            Some(SimDuration::from_millis(10))
+        );
+        assert_eq!(
+            h.quantile_upper_bound(0.99),
+            Some(SimDuration::from_secs(100))
+        );
+        assert!(Histogram::logarithmic(
+            "empty",
+            SimDuration::from_millis(1),
+            SimDuration::from_secs(1),
+            1
+        )
+        .quantile_upper_bound(0.5)
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_min_rejected() {
+        Histogram::logarithmic("bad", SimDuration::ZERO, SimDuration::SECOND, 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests for the simulation foundations.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use ros_sim::{Bandwidth, EventQueue, SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_delivers_in_nondecreasing_time_order(
+        times in vec(0u64..1_000_000, 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut delivered = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last);
+            last = ev.at;
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, times.len());
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_fifo(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(SimTime::from_secs(1), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bandwidth_time_for_is_monotone_in_bytes(
+        mbps in 1.0f64..2000.0,
+        a in 0u64..1_000_000_000,
+        b in 0u64..1_000_000_000
+    ) {
+        let bw = Bandwidth::from_mb_per_sec(mbps);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bw.time_for(lo) <= bw.time_for(hi));
+    }
+
+    #[test]
+    fn bandwidth_roundtrip_bytes(
+        mbps in 1.0f64..2000.0,
+        bytes in 1u64..10_000_000_000
+    ) {
+        let bw = Bandwidth::from_mb_per_sec(mbps);
+        let d = bw.time_for(bytes);
+        let back = bw.bytes_in(d);
+        // Nanosecond rounding: within one microsecond's worth of bytes.
+        let slack = (bw.bytes_per_sec() / 1e6).ceil() as i64 + 1;
+        prop_assert!((back as i64 - bytes as i64).abs() <= slack,
+            "bytes {bytes} -> {back} (slack {slack})");
+    }
+
+    #[test]
+    fn duration_arithmetic_never_underflows(
+        a in 0u64..u64::MAX / 2,
+        b in 0u64..u64::MAX / 2
+    ) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        let diff = da - db;
+        prop_assert!(diff.as_nanos() == a.saturating_sub(b));
+        let sum = da + db;
+        prop_assert!(sum.as_nanos() == a + b);
+    }
+}

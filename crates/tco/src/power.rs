@@ -1,0 +1,151 @@
+//! Rack power budget (§5.1: "The idle and peak powers of ROS are 185W
+//! and 652W respectively").
+//!
+//! The budget decomposes over the prototype inventory: the two-Xeon
+//! system controller, 24 optical drives (8 W peak each), 14 HDDs + 2
+//! SSDs, the PLC, and the roller/arm motors (§3.2: roller < 50 W).
+
+use serde::{Deserialize, Serialize};
+
+/// Operating point of the rack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RackState {
+    /// Everything quiescent: drives asleep, disks idling, no motion.
+    Idle,
+    /// Worst case: all drives burning, disks streaming, roller turning,
+    /// arm moving.
+    Peak,
+}
+
+/// Component power inventory of a ROS rack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RackPower {
+    /// Number of optical drives.
+    pub drives: u32,
+    /// Number of HDDs.
+    pub hdds: u32,
+    /// Number of SSDs.
+    pub ssds: u32,
+    /// Server (system controller) idle draw, watts.
+    pub server_idle_w: f64,
+    /// Server peak draw, watts.
+    pub server_peak_w: f64,
+    /// Per-drive sleep draw, watts.
+    pub drive_sleep_w: f64,
+    /// Per-drive burning draw, watts (§5.1: 8 W peak).
+    pub drive_peak_w: f64,
+    /// Per-HDD idle draw, watts.
+    pub hdd_idle_w: f64,
+    /// Per-HDD active draw, watts.
+    pub hdd_active_w: f64,
+    /// Per-SSD idle draw, watts.
+    pub ssd_idle_w: f64,
+    /// Per-SSD active draw, watts.
+    pub ssd_active_w: f64,
+    /// PLC idle draw, watts.
+    pub plc_idle_w: f64,
+    /// PLC active draw, watts.
+    pub plc_active_w: f64,
+    /// Roller rotation motor, watts (§3.2: < 50 W; zero when still).
+    pub roller_w: f64,
+    /// Arm motors, watts (zero when parked).
+    pub arm_w: f64,
+}
+
+impl Default for RackPower {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+impl RackPower {
+    /// The §5.1 prototype: 24 drives, 14 HDDs, 2 SSDs.
+    pub fn prototype() -> Self {
+        RackPower {
+            drives: 24,
+            hdds: 14,
+            ssds: 2,
+            server_idle_w: 112.0,
+            server_peak_w: 250.0,
+            drive_sleep_w: 0.2,
+            drive_peak_w: 8.0,
+            hdd_idle_w: 4.0,
+            hdd_active_w: 8.0,
+            ssd_idle_w: 1.0,
+            ssd_active_w: 3.0,
+            plc_idle_w: 10.0,
+            plc_active_w: 15.0,
+            roller_w: 48.0,
+            arm_w: 30.0,
+        }
+    }
+
+    /// Total draw at an operating point, watts.
+    pub fn watts(&self, state: RackState) -> f64 {
+        match state {
+            RackState::Idle => {
+                self.server_idle_w
+                    + self.drives as f64 * self.drive_sleep_w
+                    + self.hdds as f64 * self.hdd_idle_w
+                    + self.ssds as f64 * self.ssd_idle_w
+                    + self.plc_idle_w
+            }
+            RackState::Peak => {
+                self.server_peak_w
+                    + self.drives as f64 * self.drive_peak_w
+                    + self.hdds as f64 * self.hdd_active_w
+                    + self.ssds as f64 * self.ssd_active_w
+                    + self.plc_active_w
+                    + self.roller_w
+                    + self.arm_w
+            }
+        }
+    }
+
+    /// A mixed operating point: `burning_drives` at peak, the rest
+    /// asleep, disks active, no motion — the steady burning state.
+    pub fn steady_burning_watts(&self, burning_drives: u32) -> f64 {
+        let burning = burning_drives.min(self.drives) as f64;
+        let sleeping = self.drives as f64 - burning;
+        self.server_peak_w * 0.8
+            + burning * self.drive_peak_w
+            + sleeping * self.drive_sleep_w
+            + self.hdds as f64 * self.hdd_active_w
+            + self.ssds as f64 * self.ssd_active_w
+            + self.plc_idle_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_matches_paper_185w() {
+        let w = RackPower::prototype().watts(RackState::Idle);
+        assert!((w - 185.0).abs() < 2.0, "idle = {w} W (paper: 185 W)");
+    }
+
+    #[test]
+    fn peak_matches_paper_652w() {
+        let w = RackPower::prototype().watts(RackState::Peak);
+        assert!((w - 652.0).abs() < 2.0, "peak = {w} W (paper: 652 W)");
+    }
+
+    #[test]
+    fn steady_burning_sits_between_idle_and_peak() {
+        let p = RackPower::prototype();
+        let idle = p.watts(RackState::Idle);
+        let peak = p.watts(RackState::Peak);
+        let steady = p.steady_burning_watts(12);
+        assert!(idle < steady && steady < peak, "steady = {steady} W");
+        // Clamp to available drives.
+        assert!(p.steady_burning_watts(999) <= peak);
+    }
+
+    #[test]
+    fn drive_peak_matches_spec() {
+        // §5.1: Pioneer BDR-S09XLB "peak power 8W".
+        assert_eq!(RackPower::prototype().drive_peak_w, 8.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Block-size constants and path normalisation.
+
+/// The UDF basic block size: "In the UDF file system the basic block size
+/// is 2 KB and cannot be changed" (§4.5).
+pub const BLOCK_SIZE: u64 = 2_048;
+
+/// Number of blocks needed to store `bytes` (zero bytes need zero blocks).
+pub fn blocks_for(bytes: u64) -> u64 {
+    bytes.div_ceil(BLOCK_SIZE)
+}
+
+/// Bytes consumed on the image by a file of `size` bytes: one file-entry
+/// block plus its data blocks (§4.5: "each file entry size is allocated at
+/// a minimum of 2KB").
+pub fn file_cost(size: u64) -> u64 {
+    BLOCK_SIZE + blocks_for(size) * BLOCK_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_round_up() {
+        assert_eq!(blocks_for(0), 0);
+        assert_eq!(blocks_for(1), 1);
+        assert_eq!(blocks_for(2_048), 1);
+        assert_eq!(blocks_for(2_049), 2);
+        assert_eq!(blocks_for(10_240), 5);
+    }
+
+    #[test]
+    fn tiny_files_halve_capacity() {
+        // §4.5's worst case: files under 2 KB consume 4 KB each (entry +
+        // one data block), so payload efficiency is at most 50%.
+        let payload = 2_000u64;
+        let cost = file_cost(payload);
+        assert_eq!(cost, 4_096);
+        assert!((payload as f64 / cost as f64) < 0.5);
+    }
+
+    #[test]
+    fn empty_file_still_costs_an_entry() {
+        assert_eq!(file_cost(0), BLOCK_SIZE);
+    }
+}

@@ -1,0 +1,516 @@
+//! Block-level binary serialization of UDF-profile images.
+//!
+//! On-image layout (all integers little-endian):
+//!
+//! ```text
+//! block 0  anchor:  magic "ROSUDF01", u32 version, u64 pvd_block (=1)
+//! block 1  PVD:     u64 image_id, u64 capacity_blocks, u64 used_blocks,
+//!                   u64 root_icb_block (=2)
+//! block 2  root directory ICB
+//! ...      directory FID data, child ICBs and file data, allocated
+//!          depth-first
+//! ```
+//!
+//! Directory ICB: tag `b'D'`, u32 child count, u64 FID-data start block,
+//! u32 FID-data block count. FID stream: per child, `u8 kind`
+//! (`b'd'`/`b'f'`), `u32 name_len`, name bytes, `u64 child_icb_block`.
+//!
+//! File ICB: tag `b'F'`, u64 size, u64 mtime_nanos, u64 data start block,
+//! u32 data block count (one contiguous extent — ideal for sequential
+//! write-once burning, §4.3).
+
+use crate::block::{blocks_for, BLOCK_SIZE};
+use crate::tree::{fid_cost, FileMeta, FsNode, FsTree};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Image magic.
+pub const MAGIC: [u8; 8] = *b"ROSUDF01";
+
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// Fixed overhead blocks before the root ICB: anchor + PVD.
+pub const OVERHEAD_BLOCKS: u64 = 2;
+
+/// Parsed image header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageHeader {
+    /// Image identifier assigned by OLFS.
+    pub image_id: u64,
+    /// Declared capacity of the target disc, in blocks.
+    pub capacity_blocks: u64,
+    /// Blocks actually used by this image.
+    pub used_blocks: u64,
+}
+
+/// Errors from serialization and parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FormatError {
+    /// The tree does not fit in the declared capacity.
+    CapacityExceeded {
+        /// Bytes the tree needs.
+        needed: u64,
+        /// Declared capacity in bytes.
+        capacity: u64,
+    },
+    /// Input too short or block references out of range.
+    Truncated,
+    /// Bad magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Structural corruption at the given block.
+    Corrupt {
+        /// Block where the inconsistency was detected.
+        block: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FormatError::CapacityExceeded { needed, capacity } => {
+                write!(f, "image needs {needed} bytes, capacity {capacity}")
+            }
+            FormatError::Truncated => write!(f, "image truncated"),
+            FormatError::BadMagic => write!(f, "bad magic"),
+            FormatError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            FormatError::Corrupt { block, reason } => {
+                write!(f, "corrupt image at block {block}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(blocks: u64) -> Self {
+        Writer {
+            buf: vec![0u8; (blocks * BLOCK_SIZE) as usize],
+        }
+    }
+
+    fn at(&mut self, block: u64) -> &mut [u8] {
+        let s = (block * BLOCK_SIZE) as usize;
+        &mut self.buf[s..s + BLOCK_SIZE as usize]
+    }
+
+    fn write_bytes(&mut self, block: u64, offset: usize, data: &[u8]) {
+        let s = (block * BLOCK_SIZE) as usize + offset;
+        self.buf[s..s + data.len()].copy_from_slice(data);
+    }
+}
+
+fn put_u32(b: &mut [u8], off: usize, v: u32) -> usize {
+    b[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    off + 4
+}
+
+fn put_u64(b: &mut [u8], off: usize, v: u64) -> usize {
+    b[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    off + 8
+}
+
+/// Serialises a tree into image bytes.
+///
+/// `capacity_bytes` is the target disc capacity recorded in the header;
+/// serialization fails if the tree exceeds it. The output length is the
+/// *used* portion only (a fresh image is mostly empty; the disc burn
+/// charges time for the payload actually written).
+pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<Bytes, FormatError> {
+    let needed = tree.image_bytes();
+    if needed > capacity_bytes {
+        return Err(FormatError::CapacityExceeded {
+            needed,
+            capacity: capacity_bytes,
+        });
+    }
+
+    // Pass 1: assign block numbers depth-first.
+    struct Alloc<'a> {
+        icb: BTreeMap<*const FsNode, u64>,
+        order: Vec<&'a FsNode>,
+        next: u64,
+    }
+    let mut alloc = Alloc {
+        icb: BTreeMap::new(),
+        order: Vec::new(),
+        next: OVERHEAD_BLOCKS,
+    };
+    fn assign<'a>(node: &'a FsNode, a: &mut Alloc<'a>) {
+        a.icb.insert(node as *const FsNode, a.next);
+        a.order.push(node);
+        a.next += 1;
+        match node {
+            FsNode::File { meta, .. } => {
+                a.next += blocks_for(meta.size);
+            }
+            FsNode::Dir { children } => {
+                let fid_bytes: u64 = children.keys().map(|n| fid_cost(n)).sum();
+                a.next += blocks_for(fid_bytes);
+                for child in children.values() {
+                    assign(child, a);
+                }
+            }
+        }
+    }
+    assign(tree.root_node(), &mut alloc);
+    let used_blocks = alloc.next;
+
+    let mut w = Writer::new(used_blocks);
+
+    // Anchor (block 0).
+    {
+        let b = w.at(0);
+        b[..8].copy_from_slice(&MAGIC);
+        let off = put_u32(b, 8, VERSION);
+        put_u64(b, off, 1);
+    }
+    // PVD (block 1).
+    {
+        let b = w.at(1);
+        let mut off = put_u64(b, 0, image_id);
+        off = put_u64(b, off, blocks_for(capacity_bytes));
+        off = put_u64(b, off, used_blocks);
+        put_u64(b, off, OVERHEAD_BLOCKS);
+    }
+
+    // Pass 2: write ICBs, FID streams and data.
+    fn emit(node: &FsNode, icbs: &BTreeMap<*const FsNode, u64>, w: &mut Writer) {
+        let my_icb = icbs[&(node as *const FsNode)];
+        match node {
+            FsNode::File { meta, data } => {
+                let data_start = my_icb + 1;
+                let b = w.at(my_icb);
+                b[0] = b'F';
+                let mut off = put_u64(b, 1, meta.size);
+                off = put_u64(b, off, meta.mtime_nanos);
+                off = put_u64(b, off, data_start);
+                put_u32(b, off, blocks_for(meta.size) as u32);
+                w.write_bytes(data_start, 0, data);
+            }
+            FsNode::Dir { children } => {
+                let fid_bytes: u64 = children.keys().map(|n| fid_cost(n)).sum();
+                let data_blocks = blocks_for(fid_bytes);
+                let data_start = my_icb + 1;
+                {
+                    let b = w.at(my_icb);
+                    b[0] = b'D';
+                    let mut off = put_u32(b, 1, children.len() as u32);
+                    off = put_u64(b, off, data_start);
+                    put_u32(b, off, data_blocks as u32);
+                }
+                // FID stream.
+                let mut stream = Vec::with_capacity(fid_bytes as usize);
+                for (name, child) in children {
+                    let kind = match child {
+                        FsNode::Dir { .. } => b'd',
+                        FsNode::File { .. } => b'f',
+                    };
+                    stream.push(kind);
+                    stream.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                    stream.extend_from_slice(name.as_bytes());
+                    let child_icb = icbs[&(child as *const FsNode)];
+                    stream.extend_from_slice(&child_icb.to_le_bytes());
+                }
+                if !stream.is_empty() {
+                    w.write_bytes(data_start, 0, &stream);
+                }
+                for child in children.values() {
+                    emit(child, icbs, w);
+                }
+            }
+        }
+    }
+    emit(tree.root_node(), &alloc.icb, &mut w);
+
+    Ok(Bytes::from(w.buf))
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn block(&self, n: u64) -> Result<&'a [u8], FormatError> {
+        let s = (n * BLOCK_SIZE) as usize;
+        let e = s + BLOCK_SIZE as usize;
+        if e > self.buf.len() {
+            return Err(FormatError::Truncated);
+        }
+        Ok(&self.buf[s..e])
+    }
+
+    fn span(&self, start_block: u64, bytes: u64) -> Result<&'a [u8], FormatError> {
+        let s = (start_block * BLOCK_SIZE) as usize;
+        let e = s + bytes as usize;
+        if e > self.buf.len() {
+            return Err(FormatError::Truncated);
+        }
+        Ok(&self.buf[s..e])
+    }
+}
+
+fn get_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn get_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Parses image bytes back into a tree and header.
+pub fn parse(bytes: &[u8]) -> Result<(FsTree, ImageHeader), FormatError> {
+    let r = Reader { buf: bytes };
+    let anchor = r.block(0)?;
+    if anchor[..8] != MAGIC {
+        return Err(FormatError::BadMagic);
+    }
+    let version = get_u32(anchor, 8);
+    if version != VERSION {
+        return Err(FormatError::BadVersion(version));
+    }
+    let pvd_block = get_u64(anchor, 12);
+    let pvd = r.block(pvd_block)?;
+    let header = ImageHeader {
+        image_id: get_u64(pvd, 0),
+        capacity_blocks: get_u64(pvd, 8),
+        used_blocks: get_u64(pvd, 16),
+    };
+    let root_icb = get_u64(pvd, 24);
+
+    fn parse_node(r: &Reader<'_>, icb: u64, depth: u32) -> Result<FsNode, FormatError> {
+        if depth > 256 {
+            return Err(FormatError::Corrupt {
+                block: icb,
+                reason: "directory nesting too deep (cycle?)",
+            });
+        }
+        let b = r.block(icb)?;
+        match b[0] {
+            b'F' => {
+                let size = get_u64(b, 1);
+                let mtime_nanos = get_u64(b, 9);
+                let data_start = get_u64(b, 17);
+                let data = r.span(data_start, size)?;
+                Ok(FsNode::File {
+                    meta: FileMeta { size, mtime_nanos },
+                    data: Bytes::copy_from_slice(data),
+                })
+            }
+            b'D' => {
+                let count = get_u32(b, 1) as usize;
+                let data_start = get_u64(b, 5);
+                let data_blocks = get_u32(b, 13) as u64;
+                let stream = if count == 0 {
+                    &[][..]
+                } else {
+                    r.span(data_start, data_blocks * BLOCK_SIZE)?
+                };
+                let mut children = BTreeMap::new();
+                let mut off = 0usize;
+                for _ in 0..count {
+                    if off + 5 > stream.len() {
+                        return Err(FormatError::Corrupt {
+                            block: data_start,
+                            reason: "FID stream truncated",
+                        });
+                    }
+                    let _kind = stream[off];
+                    let name_len = get_u32(stream, off + 1) as usize;
+                    off += 5;
+                    if off + name_len + 8 > stream.len() || name_len > 4096 {
+                        return Err(FormatError::Corrupt {
+                            block: data_start,
+                            reason: "FID name out of range",
+                        });
+                    }
+                    let name = core::str::from_utf8(&stream[off..off + name_len])
+                        .map_err(|_| FormatError::Corrupt {
+                            block: data_start,
+                            reason: "FID name not UTF-8",
+                        })?
+                        .to_string();
+                    off += name_len;
+                    let child_icb = get_u64(stream, off);
+                    off += 8;
+                    let child = parse_node(r, child_icb, depth + 1)?;
+                    children.insert(name, child);
+                }
+                Ok(FsNode::Dir { children })
+            }
+            _ => Err(FormatError::Corrupt {
+                block: icb,
+                reason: "unknown ICB tag",
+            }),
+        }
+    }
+
+    let root = parse_node(&r, root_icb, 0)?;
+    match &root {
+        FsNode::Dir { .. } => Ok((FsTree::from_root(root), header)),
+        FsNode::File { .. } => Err(FormatError::Corrupt {
+            block: root_icb,
+            reason: "root must be a directory",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Path;
+
+    fn sample_tree() -> FsTree {
+        let mut t = FsTree::new();
+        t.insert(
+            &"/readme.txt".parse::<Path>().unwrap(),
+            &b"hello ROS"[..],
+            7,
+        )
+        .unwrap();
+        t.insert(
+            &"/data/2026/jan/metrics.csv".parse::<Path>().unwrap(),
+            vec![0x42u8; 5000],
+            8,
+        )
+        .unwrap();
+        t.insert(
+            &"/data/2026/feb/metrics.csv".parse::<Path>().unwrap(),
+            vec![0x17u8; 3000],
+            9,
+        )
+        .unwrap();
+        t.insert(&"/empty".parse::<Path>().unwrap(), &b""[..], 10)
+            .unwrap();
+        t.mkdir_p(&"/hollow/dir".parse::<Path>().unwrap()).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_tree() {
+        let t = sample_tree();
+        let bytes = serialize(&t, 77, 1 << 24).unwrap();
+        let (parsed, header) = parse(&bytes).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(header.image_id, 77);
+        assert_eq!(header.capacity_blocks, (1 << 24) / BLOCK_SIZE);
+        assert_eq!(header.used_blocks * BLOCK_SIZE, bytes.len() as u64);
+        assert_eq!(header.used_blocks * BLOCK_SIZE, t.image_bytes());
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let t = FsTree::new();
+        let bytes = serialize(&t, 1, 1 << 20).unwrap();
+        let (parsed, _) = parse(&bytes).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let t = sample_tree();
+        let err = serialize(&t, 1, 4 * BLOCK_SIZE).unwrap_err();
+        assert!(matches!(err, FormatError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let t = FsTree::new();
+        let bytes = serialize(&t, 1, 1 << 20).unwrap();
+        let mut v = bytes.to_vec();
+        v[0] ^= 0xFF;
+        assert_eq!(parse(&v).unwrap_err(), FormatError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let t = FsTree::new();
+        let bytes = serialize(&t, 1, 1 << 20).unwrap();
+        let mut v = bytes.to_vec();
+        v[8] = 0xEE;
+        assert!(matches!(parse(&v).unwrap_err(), FormatError::BadVersion(_)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let t = sample_tree();
+        let bytes = serialize(&t, 1, 1 << 24).unwrap();
+        let v = &bytes[..bytes.len() - BLOCK_SIZE as usize];
+        assert_eq!(parse(v).unwrap_err(), FormatError::Truncated);
+        assert_eq!(parse(&bytes[..100]).unwrap_err(), FormatError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_icb_tag_detected() {
+        let t = sample_tree();
+        let bytes = serialize(&t, 1, 1 << 24).unwrap();
+        let mut v = bytes.to_vec();
+        // Root ICB tag lives at block 2, offset 0.
+        v[(OVERHEAD_BLOCKS * BLOCK_SIZE) as usize] = b'X';
+        assert!(matches!(
+            parse(&v).unwrap_err(),
+            FormatError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn file_root_rejected() {
+        // Hand-craft an image whose root ICB is a file.
+        let t = FsTree::new();
+        let bytes = serialize(&t, 1, 1 << 20).unwrap();
+        let mut v = bytes.to_vec();
+        let icb = (OVERHEAD_BLOCKS * BLOCK_SIZE) as usize;
+        // Rewrite the root ICB as a zero-length file whose data starts at
+        // the next block.
+        for b in v[icb..icb + BLOCK_SIZE as usize].iter_mut() {
+            *b = 0;
+        }
+        v[icb] = b'F';
+        v[icb + 17..icb + 25].copy_from_slice(&(OVERHEAD_BLOCKS + 1).to_le_bytes());
+        let err = parse(&v).unwrap_err();
+        assert!(matches!(err, FormatError::Corrupt { reason, .. } if reason.contains("root")));
+    }
+
+    #[test]
+    fn many_children_span_fid_blocks() {
+        let mut t = FsTree::new();
+        // Enough children that the FID stream exceeds one block.
+        for i in 0..200 {
+            let p: Path = format!("/directory-with-long-children/child-file-number-{i:04}")
+                .parse()
+                .unwrap();
+            t.insert(&p, vec![i as u8; 10], 0).unwrap();
+        }
+        let bytes = serialize(&t, 9, 1 << 24).unwrap();
+        let (parsed, _) = parse(&bytes).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn data_survives_byte_for_byte() {
+        let mut t = FsTree::new();
+        let payload: Vec<u8> = (0..10_000u32)
+            .map(|i| i.wrapping_mul(2654435761) as u8)
+            .collect();
+        t.insert(&"/blob".parse::<Path>().unwrap(), payload.clone(), 0)
+            .unwrap();
+        let bytes = serialize(&t, 3, 1 << 24).unwrap();
+        let (parsed, _) = parse(&bytes).unwrap();
+        assert_eq!(
+            parsed
+                .read(&"/blob".parse::<Path>().unwrap())
+                .unwrap()
+                .as_ref(),
+            payload.as_slice()
+        );
+    }
+}

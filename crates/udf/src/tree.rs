@@ -1,0 +1,621 @@
+//! The in-memory file tree of a UDF image, with block-accurate accounting.
+//!
+//! Every node knows its on-image cost: a file is one ICB block plus its
+//! data blocks; a directory is one ICB block plus the blocks holding its
+//! children's file identifier descriptors (FIDs). OLFS's *unique file
+//! path* mechanism (§4.4) stores each file under its full global path, so
+//! the tree of every image is a subtree of the global namespace and the
+//! image is self-descriptive.
+
+use crate::block::{blocks_for, BLOCK_SIZE};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A normalised absolute path ("/a/b/c"; "/" is the root).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Path {
+    components: Vec<String>,
+}
+
+impl Path {
+    /// The root path "/".
+    pub fn root() -> Self {
+        Path {
+            components: Vec::new(),
+        }
+    }
+
+    /// Parses and normalises an absolute path.
+    ///
+    /// Rejects relative paths, empty components, `.` and `..`.
+    pub fn parse(s: &str) -> Result<Self, TreeError> {
+        if !s.starts_with('/') {
+            return Err(TreeError::InvalidPath(s.to_string()));
+        }
+        let mut components = Vec::new();
+        for c in s.split('/').skip(1) {
+            if c.is_empty() {
+                // Allow a single trailing slash ("/a/b/" == "/a/b").
+                continue;
+            }
+            if c == "." || c == ".." || c.contains('\0') {
+                return Err(TreeError::InvalidPath(s.to_string()));
+            }
+            components.push(c.to_string());
+        }
+        Ok(Path { components })
+    }
+
+    /// Returns the path components.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Returns the final component (file name), or `None` for the root.
+    pub fn name(&self) -> Option<&str> {
+        self.components.last().map(String::as_str)
+    }
+
+    /// Returns the parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(Path {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Returns this path extended with one more component.
+    pub fn join(&self, name: &str) -> Path {
+        let mut components = self.components.clone();
+        components.push(name.to_string());
+        Path { components }
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// True if `self` is `other` or a descendant of it.
+    pub fn starts_with(&self, other: &Path) -> bool {
+        self.components.len() >= other.components.len()
+            && self.components[..other.components.len()] == other.components[..]
+    }
+}
+
+impl core::fmt::Display for Path {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.components.is_empty() {
+            write!(f, "/")
+        } else {
+            for c in &self.components {
+                write!(f, "/{c}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl core::fmt::Debug for Path {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl std::str::FromStr for Path {
+    type Err = TreeError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Path::parse(s)
+    }
+}
+
+/// Metadata of a file node.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification time, nanoseconds on the simulation clock.
+    pub mtime_nanos: u64,
+}
+
+/// One node in the tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FsNode {
+    /// A regular file with real contents.
+    File {
+        /// Metadata.
+        meta: FileMeta,
+        /// The file data.
+        data: Bytes,
+    },
+    /// A directory mapping child names to nodes.
+    Dir {
+        /// Children in name order.
+        children: BTreeMap<String, FsNode>,
+    },
+}
+
+impl FsNode {
+    fn empty_dir() -> FsNode {
+        FsNode::Dir {
+            children: BTreeMap::new(),
+        }
+    }
+}
+
+/// Errors from tree operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TreeError {
+    /// Path failed to parse.
+    InvalidPath(String),
+    /// Component exists but is a file where a directory is needed (or
+    /// vice versa).
+    NotADirectory(String),
+    /// A directory was found where a file was expected.
+    IsADirectory(String),
+    /// The path does not exist.
+    NotFound(String),
+    /// A file already exists at the path.
+    AlreadyExists(String),
+}
+
+impl core::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TreeError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            TreeError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            TreeError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            TreeError::NotFound(p) => write!(f, "not found: {p}"),
+            TreeError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// Size in bytes of one serialised FID for a child named `name`.
+///
+/// Mirrors the on-image encoding of [`crate::format`]: kind (1) +
+/// name length (4) + name + ICB pointer (8).
+pub fn fid_cost(name: &str) -> u64 {
+    1 + 4 + name.len() as u64 + 8
+}
+
+/// A whole image's file tree.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FsTree {
+    root: FsNode,
+}
+
+impl Default for FsTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FsTree {
+    /// Creates an empty tree (just the root directory).
+    pub fn new() -> Self {
+        FsTree {
+            root: FsNode::empty_dir(),
+        }
+    }
+
+    /// Returns the root node (used by the on-image serializer).
+    pub(crate) fn root_node(&self) -> &FsNode {
+        &self.root
+    }
+
+    /// Rebuilds a tree around a parsed root node.
+    pub(crate) fn from_root(root: FsNode) -> Self {
+        FsTree { root }
+    }
+
+    fn node(&self, path: &Path) -> Option<&FsNode> {
+        let mut cur = &self.root;
+        for c in path.components() {
+            match cur {
+                FsNode::Dir { children } => cur = children.get(c)?,
+                FsNode::File { .. } => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Returns true if the path names an existing file.
+    pub fn is_file(&self, path: &Path) -> bool {
+        matches!(self.node(path), Some(FsNode::File { .. }))
+    }
+
+    /// Returns true if the path names an existing directory.
+    pub fn is_dir(&self, path: &Path) -> bool {
+        matches!(self.node(path), Some(FsNode::Dir { .. }))
+    }
+
+    /// Returns a file's metadata.
+    pub fn stat(&self, path: &Path) -> Result<FileMeta, TreeError> {
+        match self.node(path) {
+            Some(FsNode::File { meta, .. }) => Ok(meta.clone()),
+            Some(FsNode::Dir { .. }) => Err(TreeError::IsADirectory(path.to_string())),
+            None => Err(TreeError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Returns a file's contents.
+    pub fn read(&self, path: &Path) -> Result<Bytes, TreeError> {
+        match self.node(path) {
+            Some(FsNode::File { data, .. }) => Ok(data.clone()),
+            Some(FsNode::Dir { .. }) => Err(TreeError::IsADirectory(path.to_string())),
+            None => Err(TreeError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Lists a directory's child names.
+    pub fn list(&self, path: &Path) -> Result<Vec<String>, TreeError> {
+        match self.node(path) {
+            Some(FsNode::Dir { children }) => Ok(children.keys().cloned().collect()),
+            Some(FsNode::File { .. }) => Err(TreeError::NotADirectory(path.to_string())),
+            None => Err(TreeError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Creates all missing ancestor directories of `path` (mkdir -p on
+    /// the parent), then returns the parent's children map.
+    fn ensure_parent(&mut self, path: &Path) -> Result<&mut BTreeMap<String, FsNode>, TreeError> {
+        let parent = path
+            .parent()
+            .ok_or_else(|| TreeError::InvalidPath(path.to_string()))?;
+        let mut cur = &mut self.root;
+        for c in parent.components() {
+            let children = match cur {
+                FsNode::Dir { children } => children,
+                FsNode::File { .. } => return Err(TreeError::NotADirectory(c.clone())),
+            };
+            cur = children.entry(c.clone()).or_insert_with(FsNode::empty_dir);
+        }
+        match cur {
+            FsNode::Dir { children } => Ok(children),
+            FsNode::File { .. } => Err(TreeError::NotADirectory(parent.to_string())),
+        }
+    }
+
+    /// Inserts a file, creating ancestor directories (the unique-file-path
+    /// write of §4.4). Fails if the exact path already holds a file.
+    pub fn insert(
+        &mut self,
+        path: &Path,
+        data: impl Into<Bytes>,
+        mtime_nanos: u64,
+    ) -> Result<(), TreeError> {
+        if path.is_root() {
+            return Err(TreeError::InvalidPath(path.to_string()));
+        }
+        let name = path.name().expect("non-root path has a name").to_string();
+        let children = self.ensure_parent(path)?;
+        match children.get(&name) {
+            Some(FsNode::File { .. }) => Err(TreeError::AlreadyExists(path.to_string())),
+            Some(FsNode::Dir { .. }) => Err(TreeError::IsADirectory(path.to_string())),
+            None => {
+                let data = data.into();
+                children.insert(
+                    name,
+                    FsNode::File {
+                        meta: FileMeta {
+                            size: data.len() as u64,
+                            mtime_nanos,
+                        },
+                        data,
+                    },
+                );
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrites an existing file's contents in place (only legal while
+    /// the image is an updatable bucket; §4.6).
+    pub fn update(
+        &mut self,
+        path: &Path,
+        data: impl Into<Bytes>,
+        mtime_nanos: u64,
+    ) -> Result<(), TreeError> {
+        let name = path
+            .name()
+            .ok_or_else(|| TreeError::InvalidPath(path.to_string()))?
+            .to_string();
+        let children = self.ensure_parent(path)?;
+        match children.get_mut(&name) {
+            Some(FsNode::File { meta, data: d }) => {
+                let data = data.into();
+                meta.size = data.len() as u64;
+                meta.mtime_nanos = mtime_nanos;
+                *d = data;
+                Ok(())
+            }
+            Some(FsNode::Dir { .. }) => Err(TreeError::IsADirectory(path.to_string())),
+            None => Err(TreeError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Removes a file (bucket recycling only; burned images are WORM).
+    pub fn remove(&mut self, path: &Path) -> Result<(), TreeError> {
+        let name = path
+            .name()
+            .ok_or_else(|| TreeError::InvalidPath(path.to_string()))?
+            .to_string();
+        let children = self.ensure_parent(path)?;
+        match children.get(&name) {
+            Some(FsNode::File { .. }) => {
+                children.remove(&name);
+                Ok(())
+            }
+            Some(FsNode::Dir { .. }) => Err(TreeError::IsADirectory(path.to_string())),
+            None => Err(TreeError::NotFound(path.to_string())),
+        }
+    }
+
+    /// Creates a directory path (mkdir -p).
+    pub fn mkdir_p(&mut self, path: &Path) -> Result<(), TreeError> {
+        if path.is_root() {
+            return Ok(());
+        }
+        let name = path.name().expect("non-root").to_string();
+        let children = self.ensure_parent(path)?;
+        match children.get(&name) {
+            Some(FsNode::File { .. }) => Err(TreeError::NotADirectory(path.to_string())),
+            Some(FsNode::Dir { .. }) => Ok(()),
+            None => {
+                children.insert(name, FsNode::empty_dir());
+                Ok(())
+            }
+        }
+    }
+
+    /// Visits every file in path order, yielding `(path, meta)`.
+    pub fn walk_files(&self) -> Vec<(Path, FileMeta)> {
+        let mut out = Vec::new();
+        fn rec(node: &FsNode, path: &Path, out: &mut Vec<(Path, FileMeta)>) {
+            match node {
+                FsNode::File { meta, .. } => out.push((path.clone(), meta.clone())),
+                FsNode::Dir { children } => {
+                    for (name, child) in children {
+                        rec(child, &path.join(name), out);
+                    }
+                }
+            }
+        }
+        rec(&self.root, &Path::root(), &mut out);
+        out
+    }
+
+    /// Visits every directory in path order (including the root).
+    pub fn walk_dirs(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        fn rec(node: &FsNode, path: &Path, out: &mut Vec<Path>) {
+            if let FsNode::Dir { children } = node {
+                out.push(path.clone());
+                for (name, child) in children {
+                    rec(child, &path.join(name), out);
+                }
+            }
+        }
+        rec(&self.root, &Path::root(), &mut out);
+        out
+    }
+
+    /// Counts files in the tree.
+    pub fn file_count(&self) -> usize {
+        self.walk_files().len()
+    }
+
+    /// Total payload bytes of all files.
+    pub fn payload_bytes(&self) -> u64 {
+        self.walk_files().iter().map(|(_, m)| m.size).sum()
+    }
+
+    /// Total on-image bytes: every node's ICB block, every directory's
+    /// FID data blocks, every file's data blocks, plus the fixed volume
+    /// descriptor overhead of [`crate::format`].
+    pub fn image_bytes(&self) -> u64 {
+        fn node_blocks(node: &FsNode) -> u64 {
+            match node {
+                FsNode::File { meta, .. } => 1 + blocks_for(meta.size),
+                FsNode::Dir { children } => {
+                    let fid_bytes: u64 = children.keys().map(|n| fid_cost(n)).sum();
+                    // ICB block + FID data blocks (at least one when the
+                    // directory is non-empty) + children.
+                    let data_blocks = blocks_for(fid_bytes);
+                    1 + data_blocks + children.values().map(node_blocks).sum::<u64>()
+                }
+            }
+        }
+        (crate::format::OVERHEAD_BLOCKS + node_blocks(&self.root)) * BLOCK_SIZE
+    }
+
+    /// The incremental on-image cost of adding a file at `path`: its
+    /// entry and data blocks, any ancestor directories that would be
+    /// created, and the FID-data growth of the deepest *existing*
+    /// directory gaining a new child (§4.5's admission check).
+    pub fn cost_of_insert(&self, path: &Path, size: u64) -> u64 {
+        let comps = path.components();
+        let mut cost_blocks: u64 = 1 + blocks_for(size); // File ICB + data.
+                                                         // Walk down existing directories.
+        let mut cur = &self.root;
+        let mut depth = 0usize;
+        while depth < comps.len() {
+            match cur {
+                FsNode::Dir { children } => match children.get(&comps[depth]) {
+                    Some(child) if depth + 1 < comps.len() => {
+                        cur = child;
+                        depth += 1;
+                    }
+                    _ => break,
+                },
+                FsNode::File { .. } => break,
+            }
+        }
+        // `cur` is the deepest existing directory; it gains one new child
+        // FID (either the file itself or the first new directory).
+        if let FsNode::Dir { children } = cur {
+            let new_child_name = &comps[depth];
+            let existing_fid: u64 = children.keys().map(|n| fid_cost(n)).sum();
+            let grown = existing_fid + fid_cost(new_child_name);
+            cost_blocks += blocks_for(grown) - blocks_for(existing_fid);
+        }
+        // Every missing intermediate directory: ICB + one FID data block
+        // (holding its single child).
+        let new_dirs = comps.len().saturating_sub(depth + 1) as u64;
+        cost_blocks += new_dirs * 2;
+        cost_blocks * BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn path_parsing() {
+        assert_eq!(p("/").components().len(), 0);
+        assert_eq!(p("/a/b/c").components(), &["a", "b", "c"]);
+        assert_eq!(p("/a/b/").components(), &["a", "b"]);
+        assert!(Path::parse("relative").is_err());
+        assert!(Path::parse("/a/../b").is_err());
+        assert!(Path::parse("/a/./b").is_err());
+        assert_eq!(p("/a/b").to_string(), "/a/b");
+        assert_eq!(p("/").to_string(), "/");
+        assert_eq!(p("/a/b").parent().unwrap(), p("/a"));
+        assert!(p("/").parent().is_none());
+        assert_eq!(p("/a").join("b"), p("/a/b"));
+        assert!(p("/a/b").starts_with(&p("/a")));
+        assert!(!p("/ab").starts_with(&p("/a")));
+    }
+
+    #[test]
+    fn insert_creates_ancestors() {
+        let mut t = FsTree::new();
+        t.insert(&p("/data/2026/log.txt"), &b"hello"[..], 1)
+            .unwrap();
+        assert!(t.is_dir(&p("/data")));
+        assert!(t.is_dir(&p("/data/2026")));
+        assert!(t.is_file(&p("/data/2026/log.txt")));
+        assert_eq!(t.read(&p("/data/2026/log.txt")).unwrap().as_ref(), b"hello");
+        assert_eq!(t.stat(&p("/data/2026/log.txt")).unwrap().size, 5);
+        assert_eq!(t.list(&p("/data")).unwrap(), vec!["2026"]);
+    }
+
+    #[test]
+    fn insert_conflicts() {
+        let mut t = FsTree::new();
+        t.insert(&p("/a/f"), &b"x"[..], 0).unwrap();
+        assert_eq!(
+            t.insert(&p("/a/f"), &b"y"[..], 0).unwrap_err(),
+            TreeError::AlreadyExists("/a/f".into())
+        );
+        assert_eq!(
+            t.insert(&p("/a"), &b"y"[..], 0).unwrap_err(),
+            TreeError::IsADirectory("/a".into())
+        );
+        // A file cannot become a directory.
+        assert!(matches!(
+            t.insert(&p("/a/f/deeper"), &b"y"[..], 0).unwrap_err(),
+            TreeError::NotADirectory(_)
+        ));
+        assert!(t.insert(&p("/"), &b"y"[..], 0).is_err());
+    }
+
+    #[test]
+    fn update_and_remove() {
+        let mut t = FsTree::new();
+        t.insert(&p("/f"), &b"v1"[..], 1).unwrap();
+        t.update(&p("/f"), &b"version2"[..], 2).unwrap();
+        let m = t.stat(&p("/f")).unwrap();
+        assert_eq!(m.size, 8);
+        assert_eq!(m.mtime_nanos, 2);
+        assert_eq!(
+            t.update(&p("/missing"), &b""[..], 3).unwrap_err(),
+            TreeError::NotFound("/missing".into())
+        );
+        t.remove(&p("/f")).unwrap();
+        assert!(!t.is_file(&p("/f")));
+        assert_eq!(
+            t.remove(&p("/f")).unwrap_err(),
+            TreeError::NotFound("/f".into())
+        );
+    }
+
+    #[test]
+    fn mkdir_p_is_idempotent() {
+        let mut t = FsTree::new();
+        t.mkdir_p(&p("/x/y/z")).unwrap();
+        t.mkdir_p(&p("/x/y/z")).unwrap();
+        t.mkdir_p(&p("/")).unwrap();
+        assert!(t.is_dir(&p("/x/y/z")));
+        t.insert(&p("/x/f"), &b""[..], 0).unwrap();
+        assert!(matches!(
+            t.mkdir_p(&p("/x/f")).unwrap_err(),
+            TreeError::NotADirectory(_)
+        ));
+    }
+
+    #[test]
+    fn walk_enumerates_everything() {
+        let mut t = FsTree::new();
+        t.insert(&p("/a/1"), &b"x"[..], 0).unwrap();
+        t.insert(&p("/a/2"), &b"xy"[..], 0).unwrap();
+        t.insert(&p("/b/c/3"), &b"xyz"[..], 0).unwrap();
+        let files = t.walk_files();
+        assert_eq!(files.len(), 3);
+        assert_eq!(files[0].0, p("/a/1"));
+        assert_eq!(files[2].0, p("/b/c/3"));
+        let dirs = t.walk_dirs();
+        assert_eq!(dirs, vec![p("/"), p("/a"), p("/b"), p("/b/c")]);
+        assert_eq!(t.file_count(), 3);
+        assert_eq!(t.payload_bytes(), 6);
+    }
+
+    #[test]
+    fn image_bytes_accounts_entries_and_data() {
+        let mut t = FsTree::new();
+        let empty = t.image_bytes();
+        // Empty image: overhead + root ICB.
+        assert_eq!(empty, (crate::format::OVERHEAD_BLOCKS + 1) * BLOCK_SIZE);
+        t.insert(&p("/f"), vec![0u8; 100], 0).unwrap();
+        // + file ICB + 1 data block + root FID data block.
+        assert_eq!(t.image_bytes(), empty + 3 * BLOCK_SIZE);
+        t.insert(&p("/g"), vec![0u8; 5000], 0).unwrap();
+        // + file ICB + 3 data blocks (FIDs still fit one block).
+        assert_eq!(t.image_bytes(), empty + 3 * BLOCK_SIZE + 4 * BLOCK_SIZE);
+    }
+
+    #[test]
+    fn cost_of_insert_upper_bounds_reality() {
+        let mut t = FsTree::new();
+        t.insert(&p("/seed/x"), vec![0u8; 10], 0).unwrap();
+        for (path, size) in [
+            ("/seed/y", 100u64),
+            ("/new/dir/chain/file", 5_000),
+            ("/seed/big", 1 << 20),
+        ] {
+            let before = t.image_bytes();
+            let est = t.cost_of_insert(&p(path), size);
+            t.insert(&p(path), vec![0u8; size as usize], 0).unwrap();
+            let actual = t.image_bytes() - before;
+            assert!(
+                est >= actual,
+                "estimate {est} must cover actual {actual} for {path}"
+            );
+            // And not be wildly pessimistic (within 2 blocks + 5%).
+            assert!(est as f64 <= actual as f64 * 1.05 + 2.0 * BLOCK_SIZE as f64);
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Edge cases of the UDF-profile image format: deep trees, long and
+//! unicode names, tight capacities, degenerate shapes.
+
+use ros_udf::{Bucket, FsTree, SealedImage, UdfPath, BLOCK_SIZE};
+
+fn p(s: &str) -> UdfPath {
+    s.parse().unwrap()
+}
+
+#[test]
+fn very_deep_directory_chains_roundtrip() {
+    let mut t = FsTree::new();
+    let deep: String = (0..60).map(|i| format!("/d{i}")).collect();
+    t.insert(&p(&format!("{deep}/leaf")), vec![1u8; 100], 0)
+        .unwrap();
+    let bytes = ros_udf::format::serialize(&t, 1, 64 * 1024 * 1024).unwrap();
+    let img = SealedImage::from_bytes(bytes).unwrap();
+    assert_eq!(
+        img.read(&p(&format!("{deep}/leaf"))).unwrap().as_ref(),
+        &[1u8; 100][..]
+    );
+}
+
+#[test]
+fn unicode_and_long_names_survive() {
+    let mut b = Bucket::new(1, 1024 * BLOCK_SIZE);
+    let long = "x".repeat(200);
+    let names = [
+        "файл.txt".to_string(),
+        "数据-2026.log".to_string(),
+        "emoji-📀.bin".to_string(),
+        long,
+    ];
+    for (i, name) in names.iter().enumerate() {
+        b.write(&p(&format!("/dir/{name}")), vec![i as u8; 50], 0)
+            .unwrap();
+    }
+    let img = b.close().unwrap();
+    let reparsed = SealedImage::from_bytes(img.bytes().clone()).unwrap();
+    for (i, name) in names.iter().enumerate() {
+        assert_eq!(
+            reparsed.read(&p(&format!("/dir/{name}"))).unwrap().as_ref(),
+            vec![i as u8; 50].as_slice(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn exactly_full_bucket_still_seals() {
+    let mut b = Bucket::new(1, 32 * BLOCK_SIZE);
+    // Fill with block-sized files until nothing fits.
+    let mut i = 0;
+    loop {
+        let path = p(&format!("/f{i}"));
+        if b.write(&path, vec![0u8; BLOCK_SIZE as usize], 0).is_err() {
+            break;
+        }
+        i += 1;
+    }
+    assert!(i > 0);
+    assert!(b.free_bytes() < 4 * BLOCK_SIZE);
+    let img = b.close().unwrap();
+    assert!(img.len() <= 32 * BLOCK_SIZE);
+    assert_eq!(img.scan_files().len(), i);
+}
+
+#[test]
+fn zero_byte_files_and_empty_dirs_coexist() {
+    let mut t = FsTree::new();
+    t.insert(&p("/empty-file"), Vec::<u8>::new(), 0).unwrap();
+    t.mkdir_p(&p("/empty/dir/chain")).unwrap();
+    let bytes = ros_udf::format::serialize(&t, 2, 1 << 22).unwrap();
+    let img = SealedImage::from_bytes(bytes).unwrap();
+    assert_eq!(img.read(&p("/empty-file")).unwrap().len(), 0);
+    assert!(img.tree().is_dir(&p("/empty/dir/chain")));
+    assert_eq!(img.scan_files().len(), 1);
+}
+
+#[test]
+fn sibling_name_prefixes_do_not_collide() {
+    let mut t = FsTree::new();
+    for name in ["a", "aa", "aaa", "a.a", "a-a"] {
+        t.insert(&p(&format!("/{name}")), name.as_bytes().to_vec(), 0)
+            .unwrap();
+    }
+    let bytes = ros_udf::format::serialize(&t, 3, 1 << 22).unwrap();
+    let img = SealedImage::from_bytes(bytes).unwrap();
+    for name in ["a", "aa", "aaa", "a.a", "a-a"] {
+        assert_eq!(
+            img.read(&p(&format!("/{name}"))).unwrap().as_ref(),
+            name.as_bytes()
+        );
+    }
+}
+
+#[test]
+fn image_ids_are_preserved_through_recycling() {
+    let mut b = Bucket::new(10, 64 * BLOCK_SIZE);
+    b.write(&p("/x"), vec![1], 0).unwrap();
+    let img1 = b.close().unwrap();
+    assert_eq!(img1.image_id(), 10);
+    b.recycle(11);
+    b.write(&p("/y"), vec![2], 0).unwrap();
+    let img2 = b.close().unwrap();
+    assert_eq!(img2.image_id(), 11);
+    assert!(
+        img2.read(&p("/x")).is_err(),
+        "recycled bucket must be clean"
+    );
+}
+
+#[test]
+fn sub_2kb_files_halve_usable_capacity() {
+    // §4.5's worst case: "all files are less than 2KB plus extra
+    // corresponding 2KB file entry, the actual space to store data is
+    // only half of the bucket."
+    let capacity = 512 * BLOCK_SIZE;
+    let mut b = Bucket::new(1, capacity);
+    let mut payload = 0u64;
+    let mut i = 0;
+    loop {
+        let path = p(&format!("/tiny/f{i:04}"));
+        let data = vec![0u8; 2000]; // Just under one block.
+        if b.write(&path, data, 0).is_err() {
+            break;
+        }
+        payload += 2000;
+        i += 1;
+    }
+    let efficiency = payload as f64 / capacity as f64;
+    assert!(
+        efficiency < 0.5,
+        "worst-case efficiency = {efficiency:.2}, paper says at most half"
+    );
+    assert!(efficiency > 0.4, "but not absurdly below half");
+}
+
+#[test]
+fn large_files_approach_full_capacity() {
+    // The flip side: block-multiple files waste only entry blocks.
+    let capacity = 512 * BLOCK_SIZE;
+    let mut b = Bucket::new(1, capacity);
+    let mut payload = 0u64;
+    let mut i = 0;
+    loop {
+        let path = p(&format!("/big/f{i}"));
+        let size = 64 * BLOCK_SIZE;
+        if b.write(&path, vec![0u8; size as usize], 0).is_err() {
+            break;
+        }
+        payload += size;
+        i += 1;
+    }
+    let efficiency = payload as f64 / capacity as f64;
+    assert!(efficiency > 0.85, "bulk efficiency = {efficiency:.2}");
+}

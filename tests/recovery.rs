@@ -1,0 +1,195 @@
+//! Recovery integration tests: media damage repair (§4.7), MV snapshot
+//! burn + restore, and full namespace reconstruction from discs (§4.2,
+//! §4.4).
+
+use ros::prelude::*;
+
+fn p(s: &str) -> UdfPath {
+    s.parse().unwrap()
+}
+
+fn content(tag: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (tag.wrapping_mul(131).wrapping_add(i as u64 * 7) % 249) as u8)
+        .collect()
+}
+
+fn burned_dataset(n: u64, size: usize) -> (Ros, Vec<(UdfPath, Vec<u8>)>) {
+    let mut ros = Ros::new(RosConfig::tiny());
+    let files: Vec<(UdfPath, Vec<u8>)> = (0..n)
+        .map(|i| (p(&format!("/ds/dir-{}/f{i}", i % 3)), content(i, size)))
+        .collect();
+    for (path, data) in &files {
+        ros.write_file(path, data.clone()).unwrap();
+    }
+    ros.flush().unwrap();
+    (ros, files)
+}
+
+#[test]
+fn single_disc_corruption_repairs_through_raid5() {
+    let (mut ros, files) = burned_dataset(10, 400_000);
+    ros.evict_burned_copies();
+    ros.unload_all_bays().unwrap();
+    // Corrupt one data disc in its tray.
+    let seg = ros.image_segments(&files[0].0).unwrap()[0];
+    assert!(ros.locate_image(seg).is_some(), "dataset must be on disc");
+    let failures = ros.age_media(0.02);
+    assert!(failures > 0, "ageing must inject damage");
+    // Reads repair transparently.
+    for (path, data) in &files {
+        let r = ros.read_file(path).unwrap();
+        assert_eq!(r.data.as_ref(), data.as_slice(), "{path}");
+    }
+    assert!(ros.counters().repairs > 0);
+}
+
+#[test]
+fn scrub_finds_damage_and_rewrite_retires_trays() {
+    let (mut ros, files) = burned_dataset(12, 500_000);
+    ros.evict_burned_copies();
+    ros.unload_all_bays().unwrap();
+    ros.age_media(0.02);
+    let report = ros.scrub();
+    assert!(!report.damaged.is_empty(), "scrub must find the damage");
+    let before = ros.status().da_counts;
+    let rewritten = ros.rewrite_damaged_arrays(&report).unwrap();
+    assert!(rewritten >= 1);
+    let after = ros.status().da_counts;
+    assert!(after.2 > before.2, "old trays must be retired as Failed");
+    // Everything still reads correctly from the fresh discs.
+    ros.evict_burned_copies();
+    ros.unload_all_bays().unwrap();
+    for (path, data) in &files {
+        let r = ros.read_file(path).unwrap();
+        assert_eq!(r.data.as_ref(), data.as_slice(), "{path}");
+    }
+}
+
+#[test]
+fn mv_snapshot_burn_and_recovery_from_discs() {
+    let (mut ros, files) = burned_dataset(8, 300_000);
+    // Burn an MV snapshot into the library.
+    let (seq, parts) = ros.burn_mv_snapshot().unwrap();
+    assert_eq!(seq, 1);
+    assert!(parts >= 1);
+    // Simulate MV loss: recover from discs alone.
+    let (restored, elapsed) = ros.recover_mv_from_discs().unwrap();
+    assert!(elapsed > SimDuration::from_secs(60), "scan is mechanical");
+    // The restored MV knows every file.
+    ros.adopt_namespace(restored);
+    for (path, data) in &files {
+        let r = ros.read_file(path).unwrap();
+        assert_eq!(r.data.as_ref(), data.as_slice(), "{path}");
+    }
+}
+
+#[test]
+fn namespace_rebuild_without_any_mv() {
+    let (mut ros, files) = burned_dataset(9, 350_000);
+    let report = ros.rebuild_namespace_from_discs().unwrap();
+    assert_eq!(report.files_recovered, files.len());
+    assert!(report.images_parsed >= 1);
+    assert!(report.elapsed > SimDuration::from_secs(60));
+    ros.adopt_namespace(report.mv);
+    for (path, data) in &files {
+        let r = ros.read_file(path).unwrap();
+        assert_eq!(r.data.as_ref(), data.as_slice(), "{path}");
+    }
+}
+
+#[test]
+fn namespace_rebuild_recovers_split_files() {
+    let mut ros = Ros::new(RosConfig::tiny());
+    let big = content(7, 9 * 1024 * 1024);
+    let w = ros.write_file(&p("/deep/huge.bin"), big.clone()).unwrap();
+    assert!(w.segments.len() >= 2);
+    ros.write_file(&p("/deep/small"), content(8, 1000)).unwrap();
+    ros.flush().unwrap();
+    let report = ros.rebuild_namespace_from_discs().unwrap();
+    ros.adopt_namespace(report.mv);
+    let r = ros.read_file(&p("/deep/huge.bin")).unwrap();
+    assert_eq!(r.data.len(), big.len());
+    assert_eq!(
+        r.data.as_ref(),
+        big.as_slice(),
+        "split file must reassemble"
+    );
+    let r = ros.read_file(&p("/deep/small")).unwrap();
+    assert_eq!(r.data.as_ref(), content(8, 1000).as_slice());
+}
+
+#[test]
+fn rebuild_maps_version_shadows_to_original_paths() {
+    let mut ros = Ros::new(RosConfig::tiny());
+    ros.write_file(&p("/v/file"), content(1, 50_000)).unwrap();
+    ros.seal_open_buckets().unwrap(); // Forces the update to regenerate.
+    let v2 = content(2, 60_000);
+    ros.write_file(&p("/v/file"), v2.clone()).unwrap();
+    ros.flush().unwrap();
+    let report = ros.rebuild_namespace_from_discs().unwrap();
+    ros.adopt_namespace(report.mv);
+    // The rebuilt namespace serves the newest version under the original
+    // path, with no ".rosv" shadow names leaking.
+    let r = ros.read_file(&p("/v/file")).unwrap();
+    assert_eq!(r.data.as_ref(), v2.as_slice());
+    let ls = ros.readdir(&p("/v")).unwrap();
+    assert!(
+        ls.iter().all(|(name, _)| !name.starts_with(".rosv")),
+        "shadow names must not leak: {ls:?}"
+    );
+}
+
+#[test]
+fn checkpoint_state_survives_in_mv_snapshot() {
+    let (mut ros, _) = burned_dataset(6, 200_000);
+    ros.checkpoint();
+    ros.burn_mv_snapshot().unwrap();
+    let (restored, _) = ros.recover_mv_from_discs().unwrap();
+    assert!(
+        restored.get_state("dim").is_some(),
+        "DAindex/DILindex checkpoint must ride along in the snapshot"
+    );
+    assert!(restored.get_state("checkpoint_nanos").is_some());
+}
+
+#[test]
+fn raid6_survives_two_damaged_discs_in_one_array() {
+    let mut cfg = RosConfig::tiny();
+    cfg.redundancy = Redundancy::Raid6;
+    let mut ros = Ros::new(cfg);
+    let files: Vec<(UdfPath, Vec<u8>)> = (0..12)
+        .map(|i| (p(&format!("/r6/f{i}")), content(i, 600_000)))
+        .collect();
+    for (path, data) in &files {
+        ros.write_file(path, data.clone()).unwrap();
+    }
+    ros.flush().unwrap();
+    ros.evict_burned_copies();
+    ros.unload_all_bays().unwrap();
+    // Heavier damage than RAID-5 tolerates: many sectors on two discs.
+    let failures = ros.age_media(0.05);
+    assert!(failures > 20, "need substantial damage, got {failures}");
+    for (path, data) in &files {
+        let r = ros.read_file(path).unwrap();
+        assert_eq!(r.data.as_ref(), data.as_slice(), "{path}");
+    }
+    assert!(ros.counters().repairs > 0);
+}
+
+#[test]
+fn raid5_tolerance_is_sector_granular_across_discs() {
+    // Multiple damaged discs in one RAID-5 array are fine as long as no
+    // 2 KB stripe loses two members at once (§4.7's tolerance degree).
+    let (mut ros, files) = burned_dataset(12, 500_000);
+    ros.evict_burned_copies();
+    ros.unload_all_bays().unwrap();
+    // Spread light damage over the whole library: distinct stripes with
+    // overwhelming probability.
+    let failures = ros.age_media(0.004);
+    assert!(failures > 0);
+    for (path, data) in &files {
+        let r = ros.read_file(path).unwrap();
+        assert_eq!(r.data.as_ref(), data.as_slice(), "{path}");
+    }
+}
