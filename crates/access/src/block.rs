@@ -44,6 +44,7 @@ impl BlockLun {
     fn dir(&self) -> UdfPath {
         format!("{LUN_ROOT}/{}", self.name)
             .parse()
+            // ros-analysis: allow(L2, LUN names are validated path-safe at creation)
             .expect("lun dir")
     }
 

@@ -24,7 +24,8 @@ pub enum NetworkLink {
 }
 
 impl NetworkLink {
-    /// Payload bandwidth of the link.
+    /// Payload bandwidth of the link (§3.3; non-10GbE figures are the
+    /// technologies' nominal data rates, which the paper does not quote).
     pub fn bandwidth(self) -> Bandwidth {
         match self {
             NetworkLink::TenGbE => Bandwidth::from_gbit_per_sec(10.0),
@@ -66,7 +67,8 @@ pub const OLFS_WRITE_FACTOR: f64 = 1.0 - 0.101;
 /// 68.9% read and 68.0% write throughput degradation of ext4").
 pub const SAMBA_READ_FACTOR: f64 = 1.0 - 0.689;
 
-/// See [`SAMBA_READ_FACTOR`].
+/// See [`SAMBA_READ_FACTOR`] (§5.3: "68.0% write throughput
+/// degradation").
 pub const SAMBA_WRITE_FACTOR: f64 = 1.0 - 0.680;
 
 /// How much of the FUSE penalty remains visible behind Samba (the
@@ -74,7 +76,8 @@ pub const SAMBA_WRITE_FACTOR: f64 = 1.0 - 0.680;
 /// the paper quotes no number for samba+FUSE).
 pub const FUSE_UNDER_SAMBA_READ: f64 = 0.78;
 
-/// See [`FUSE_UNDER_SAMBA_READ`].
+/// See [`FUSE_UNDER_SAMBA_READ`]: the write-side estimate from
+/// Figure 6's samba+FUSE bar.
 pub const FUSE_UNDER_SAMBA_WRITE: f64 = 0.97;
 
 /// How much of the OLFS penalty remains visible behind Samba+FUSE,
@@ -82,7 +85,8 @@ pub const FUSE_UNDER_SAMBA_WRITE: f64 = 0.97;
 /// 323.6 MB/s write (§5.3).
 pub const OLFS_UNDER_SAMBA_READ: f64 = 0.81;
 
-/// See [`OLFS_UNDER_SAMBA_READ`].
+/// See [`OLFS_UNDER_SAMBA_READ`]: calibrated against §5.3's measured
+/// 323.6 MB/s samba+OLFS write.
 pub const OLFS_UNDER_SAMBA_WRITE: f64 = 1.04;
 
 /// Extra stat operations Samba adds to a file-creating write (§5.3:
@@ -90,10 +94,12 @@ pub const OLFS_UNDER_SAMBA_WRITE: f64 = 1.04;
 /// operations" — one before the mknod and six after, per Figure 7).
 pub const SAMBA_EXTRA_WRITE_STATS_BEFORE: usize = 1;
 
-/// See [`SAMBA_EXTRA_WRITE_STATS_BEFORE`].
+/// See [`SAMBA_EXTRA_WRITE_STATS_BEFORE`] (Figure 7's post-mknod
+/// stat cluster, net of the one mknod itself issues).
 pub const SAMBA_EXTRA_WRITE_STATS_AFTER: usize = 5;
 
-/// Extra stat operations Samba adds to a read.
+/// Extra stat operations Samba adds to a read (Figure 7's read
+/// breakdown shows a single leading stat).
 pub const SAMBA_EXTRA_READ_STATS: usize = 1;
 
 /// SMB protocol overhead per write-class request (compound

@@ -1,0 +1,304 @@
+//! Parser for the `analysis.toml` configuration file.
+//!
+//! The auditor is dependency-free, so this is a hand-rolled reader for the
+//! TOML subset the config actually uses: `[section]` headers, `key =
+//! "string"`, `key = ["array", "of", "strings"]`, and `#` comments.
+//! Anything outside that subset is a hard error — better to reject a
+//! config than to silently half-apply it.
+
+use std::collections::BTreeMap;
+
+/// A parse or validation error, with the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The auditor's effective configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Directories to walk for `.rs` files, relative to the workspace root.
+    pub roots: Vec<String>,
+    /// Path prefixes to skip entirely.
+    pub exclude: Vec<String>,
+    /// Lints to run, by id (`"L1"` .. `"L5"`).
+    pub enabled: Vec<String>,
+    /// Crates (directory names under `crates/`) where wall-clock types are
+    /// banned (L1).
+    pub l1_crates: Vec<String>,
+    /// Numeric-integrity files checked by L3, as workspace-relative paths.
+    pub l3_files: Vec<String>,
+    /// File name whose numeric constants need paper citations (L4).
+    pub l4_file_name: String,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            roots: vec!["crates".to_string()],
+            exclude: Vec::new(),
+            enabled: ["L1", "L2", "L3", "L4", "L5"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            l1_crates: Vec::new(),
+            l3_files: Vec::new(),
+            l4_file_name: "params.rs".to_string(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses the `analysis.toml` text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let raw = parse_sections(text)?;
+        let mut cfg = Config::default();
+        for (section, entries) in &raw {
+            for (key, (value, line)) in entries {
+                let unknown = || ConfigError {
+                    line: *line,
+                    message: format!("unknown key `{key}` in section `[{section}]`"),
+                };
+                match (section.as_str(), key.as_str()) {
+                    ("scope", "roots") => cfg.roots = value.as_list(*line)?,
+                    ("scope", "exclude") => cfg.exclude = value.as_list(*line)?,
+                    ("lints", "enabled") => cfg.enabled = value.as_list(*line)?,
+                    ("L1", "crates") => cfg.l1_crates = value.as_list(*line)?,
+                    ("L3", "files") => cfg.l3_files = value.as_list(*line)?,
+                    ("L4", "file_name") => cfg.l4_file_name = value.as_string(*line)?,
+                    _ => return Err(unknown()),
+                }
+            }
+        }
+        for lint in &cfg.enabled {
+            if !matches!(lint.as_str(), "L1" | "L2" | "L3" | "L4" | "L5") {
+                return Err(ConfigError {
+                    line: 0,
+                    message: format!("unknown lint id `{lint}` in lints.enabled"),
+                });
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// True if lint `id` is switched on.
+    pub fn lint_enabled(&self, id: &str) -> bool {
+        self.enabled.iter().any(|l| l == id)
+    }
+}
+
+/// A parsed value: a string or a list of strings.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+impl Value {
+    fn as_list(&self, line: usize) -> Result<Vec<String>, ConfigError> {
+        match self {
+            Value::List(v) => Ok(v.clone()),
+            Value::Str(_) => Err(ConfigError {
+                line,
+                message: "expected an array of strings".to_string(),
+            }),
+        }
+    }
+
+    fn as_string(&self, line: usize) -> Result<String, ConfigError> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            Value::List(_) => Err(ConfigError {
+                line,
+                message: "expected a string".to_string(),
+            }),
+        }
+    }
+}
+
+type Sections = BTreeMap<String, BTreeMap<String, (Value, usize)>>;
+
+fn parse_sections(text: &str) -> Result<Sections, ConfigError> {
+    let mut sections: Sections = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw_line)) = lines.next() {
+        let lineno = idx + 1;
+        let mut joined;
+        let mut line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Multi-line arrays: join lines until the closing bracket.
+        if line.contains('[') && line.contains('=') && !line.contains(']') {
+            joined = line.to_string();
+            for (_, continuation) in lines.by_ref() {
+                joined.push(' ');
+                joined.push_str(strip_comment(continuation).trim());
+                if joined.contains(']') {
+                    break;
+                }
+            }
+            line = joined.as_str();
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().to_string();
+            let value = parse_value(line[eq + 1..].trim(), lineno)?;
+            if current.is_empty() {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("key `{key}` appears before any [section]"),
+                });
+            }
+            sections
+                .entry(current.clone())
+                .or_default()
+                .insert(key, (value, lineno));
+        } else {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("cannot parse line: `{line}`"),
+            });
+        }
+    }
+    Ok(sections)
+}
+
+/// Removes a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, line: usize) -> Result<Value, ConfigError> {
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| ConfigError {
+            line,
+            message: "unterminated array (arrays must be single-line)".to_string(),
+        })?;
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_string(piece, line)?);
+        }
+        Ok(Value::List(items))
+    } else {
+        Ok(Value::Str(parse_string(text, line)?))
+    }
+}
+
+/// Splits an array body on commas (strings in this config contain no
+/// commas, so a scan that respects quotes is sufficient).
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+fn parse_string(text: &str, line: usize) -> Result<String, ConfigError> {
+    text.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(|s| s.to_string())
+        .ok_or_else(|| ConfigError {
+            line,
+            message: format!("expected a double-quoted string, got `{text}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scope]
+roots = ["crates"]
+exclude = ["crates/analysis/tests/fixtures", "vendor"]
+
+[lints]
+enabled = ["L1", "L2"]
+
+[L1]
+crates = ["sim", "disk"]
+
+[L3]
+files = ["crates/sim/src/time.rs"]
+
+[L4]
+file_name = "params.rs"  # trailing comment
+"#,
+        )
+        .expect("config parses");
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert_eq!(cfg.exclude.len(), 2);
+        assert!(cfg.lint_enabled("L1"));
+        assert!(!cfg.lint_enabled("L3"));
+        assert_eq!(cfg.l1_crates, vec!["sim", "disk"]);
+        assert_eq!(cfg.l3_files, vec!["crates/sim/src/time.rs"]);
+        assert_eq!(cfg.l4_file_name, "params.rs");
+    }
+
+    #[test]
+    fn parses_multi_line_arrays() {
+        let cfg = Config::parse("[L3]\nfiles = [\n  \"a.rs\",  # why a\n  \"b.rs\",\n]\n")
+            .expect("multi-line array parses");
+        assert_eq!(cfg.l3_files, vec!["a.rs", "b.rs"]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_lints() {
+        assert!(Config::parse("[scope]\nwhatever = \"x\"\n").is_err());
+        assert!(Config::parse("[lints]\nenabled = [\"L9\"]\n").is_err());
+        assert!(Config::parse("orphan = \"x\"\n").is_err());
+        assert!(Config::parse("[scope]\nroots = [\"a\"\n").is_err());
+    }
+
+    #[test]
+    fn defaults_enable_all_lints() {
+        let cfg = Config::parse("").expect("empty config parses");
+        for id in ["L1", "L2", "L3", "L4", "L5"] {
+            assert!(cfg.lint_enabled(id));
+        }
+    }
+}

@@ -1,0 +1,353 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lints only need a token stream with line numbers that correctly
+//! skips over string literals and comments — not a full grammar. The lexer
+//! therefore understands exactly the lexical shapes that would otherwise
+//! cause false positives: line and (nested) block comments, string / raw
+//! string / byte string literals, char literals vs. lifetimes, and numeric
+//! literals. Everything else is an identifier or a single punctuation
+//! character.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `u8`, ...).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String, raw string, byte string or char literal.
+    Lit,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// A single punctuation character (`.`, `+`, `(`, ...).
+    Punct,
+    /// A `//` or `/* */` comment, text included (without delimiters).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text. For comments this is the comment body.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `source` into tokens, comments included.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let tok_line = line;
+            let start = i + 2;
+            let mut depth = 1;
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let end = i.saturating_sub(2).max(start);
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text: chars[start..end].iter().collect(),
+                line: tok_line,
+            });
+        } else if c == '"' {
+            let tok_line = line;
+            i += 1;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '"' {
+                if chars[i] == '\\' && i + 1 < chars.len() {
+                    text.push(chars[i]);
+                    text.push(chars[i + 1]);
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    text.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing quote
+            toks.push(Tok {
+                kind: TokKind::Lit,
+                text,
+                line: tok_line,
+            });
+        } else if (c == 'r' || c == 'b') && is_raw_or_byte_string(&chars, i) {
+            let tok_line = line;
+            let (text, next, newlines) = scan_raw_or_byte_string(&chars, i);
+            line += newlines;
+            i = next;
+            toks.push(Tok {
+                kind: TokKind::Lit,
+                text,
+                line: tok_line,
+            });
+        } else if c == '\'' {
+            // Char literal or lifetime. `'a` followed by a non-quote is a
+            // lifetime; `'a'`, `'\n'` etc. are char literals.
+            if is_lifetime(&chars, i) {
+                let start = i + 1;
+                i += 1;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                let tok_line = line;
+                i += 1;
+                let mut text = String::new();
+                while i < chars.len() && chars[i] != '\'' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        text.push(chars[i]);
+                        text.push(chars[i + 1]);
+                        i += 2;
+                    } else {
+                        text.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Lit,
+                    text,
+                    line: tok_line,
+                });
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric()
+                    || chars[i] == '_'
+                    || chars[i] == '.'
+                        && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        && !chars[start..i].contains(&'.'))
+            {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// True if position `i` starts an `r"`, `r#"`, `b"`, `br#"`-style literal.
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && chars.get(j) == Some(&'"')
+}
+
+/// Scans a raw/byte string starting at `i`; returns (body, next index,
+/// newline count inside the literal).
+fn scan_raw_or_byte_string(chars: &[char], i: usize) -> (String, usize, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    let mut hashes = 0;
+    let mut raw = false;
+    if chars.get(j) == Some(&'r') {
+        raw = true;
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    j += 1; // opening quote
+    let start = j;
+    let mut newlines = 0;
+    while j < chars.len() {
+        if chars[j] == '"' {
+            // Check for the closing `"###...` run.
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                let body: String = chars[start..j].iter().collect();
+                return (body, k, newlines);
+            }
+        } else if !raw && chars[j] == '\\' && j + 1 < chars.len() {
+            // Plain byte string: honor escapes.
+            j += 1;
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        j += 1;
+    }
+    (chars[start..].iter().collect(), chars.len(), newlines)
+}
+
+/// Distinguishes `'a` (lifetime) from `'a'` / `'\n'` (char literal).
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some(&c) if c.is_alphabetic() || c == '_' => {
+            // `'static`, `'a` — a lifetime unless the very next char is a
+            // closing quote (then it is a one-char literal like `'a'`).
+            chars.get(i + 2) != Some(&'\'')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_nums_puncts() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Num, "42".into()),
+                (TokKind::Punct, "+".into()),
+                (TokKind::Ident, "y_2".into()),
+                (TokKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let toks = lex("a // unwrap() here is prose\nb /* and\nhere */ c");
+        assert_eq!(toks[1].kind, TokKind::Comment);
+        assert!(toks[1].text.contains("unwrap"));
+        assert_eq!(toks[2].text, "b");
+        assert_eq!(toks[2].line, 2);
+        assert_eq!(toks[3].kind, TokKind::Comment);
+        assert_eq!(toks[4].text, "c");
+        assert_eq!(toks[4].line, 3);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let toks = kinds(r#"call("x.unwrap() + 1")"#);
+        assert_eq!(toks[0], (TokKind::Ident, "call".into()));
+        assert_eq!(toks[2], (TokKind::Lit, "x.unwrap() + 1".into()));
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"x(r#"a "quoted" b"#)"###);
+        assert_eq!(toks[2], (TokKind::Lit, "a \"quoted\" b".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Lit, "x".into())));
+        assert!(toks.contains(&(TokKind::Lit, "\\n".into())));
+    }
+
+    #[test]
+    fn float_literals_stay_single_tokens() {
+        let toks = kinds("1.5 + x.powf(2.0) 0x1F 1_000_000");
+        assert_eq!(toks[0], (TokKind::Num, "1.5".into()));
+        assert_eq!(toks[2], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[3], (TokKind::Punct, ".".into()));
+        assert!(toks.contains(&(TokKind::Num, "0x1F".into())));
+        assert!(toks.contains(&(TokKind::Num, "1_000_000".into())));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+}

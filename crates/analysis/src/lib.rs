@@ -1,0 +1,123 @@
+//! Workspace domain-lint auditor for the ROS reproduction.
+//!
+//! `cargo run -p ros-analysis -- check` walks every workspace `.rs` file
+//! and enforces the project's domain rules (configured in `analysis.toml`
+//! at the workspace root):
+//!
+//! - **L1** — no wall-clock types (`Instant`, `SystemTime`) in
+//!   simulation-facing crates; simulated components take time from
+//!   `SimTime` so every run is reproducible.
+//! - **L2** — no `unwrap()` / `expect()` / `panic!` in non-test library
+//!   code; failure paths must flow through each crate's typed error.
+//! - **L3** — no bare narrowing casts or unchecked `+` / `*` in
+//!   numeric-integrity modules (parity math, burn-speed integration, the
+//!   simulation clock).
+//! - **L4** — every numeric constant in a `params.rs` must cite the paper
+//!   (`§4.2`, `Table 3`, `Fig 8`) so calibration stays auditable.
+//! - **L5** — public `Result`-returning APIs must use a typed error, not
+//!   `String` or `Box<dyn Error>`.
+//!
+//! A violation that is intentional is silenced in place with
+//! `// ros-analysis: allow(Lx, reason)` — the reason is mandatory and is
+//! the audit trail for the exception.
+
+pub mod config;
+pub mod lexer;
+pub mod lints;
+
+pub use config::{Config, ConfigError};
+pub use lints::{check_source, Finding};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The result of auditing a tree.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All surviving findings, ordered by (file, line).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+/// Path components that hold test or generated code the lints never
+/// apply to.
+const SKIPPED_DIRS: [&str; 5] = ["tests", "benches", "examples", "target", "fixtures"];
+
+/// Audits every `.rs` file under `root` per `cfg`.
+pub fn check_tree(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for cfg_root in &cfg.roots {
+        let dir = root.join(cfg_root);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, cfg, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        report.findings.extend(check_source(&rel_str, &source, cfg));
+        report.files_checked += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `.rs` paths under `dir`.
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    cfg: &Config,
+    out: &mut Vec<PathBuf>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Ok(rel) = path.strip_prefix(root) else {
+            continue;
+        };
+        let rel_str = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        if cfg.exclude.iter().any(|e| rel_str.starts_with(e.as_str())) {
+            continue;
+        }
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIPPED_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, cfg, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skips_test_dirs_and_excludes() {
+        let cfg = Config {
+            exclude: vec!["crates/analysis/tests".to_string()],
+            ..Config::default()
+        };
+        // The workspace root is two levels up from this crate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = check_tree(&root, &cfg).expect("tree walk succeeds");
+        assert!(report.files_checked > 50, "found {}", report.files_checked);
+    }
+}

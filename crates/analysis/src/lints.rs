@@ -1,0 +1,759 @@
+//! The domain lints (L1–L5), plus test-region detection and the
+//! `// ros-analysis: allow(...)` suppression mechanism.
+//!
+//! All lints operate on the token stream from [`crate::lexer`], so string
+//! literals and comments never produce false positives. Test code —
+//! anything under a `#[cfg(test)]` / `#[test]` item — is exempt from every
+//! lint: the rules below exist to protect simulation fidelity and
+//! durability invariants, and tests legitimately `unwrap()` and build
+//! wall-clock timers.
+
+use crate::config::Config;
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::HashMap;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint id (`"L1"` .. `"L5"`, or `"meta"` for broken annotations).
+    pub lint: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Integer types a bare `as` cast can silently truncate into (L3). Casts
+/// to 64-bit and `usize` targets are widening on every platform the
+/// simulator supports and are left alone.
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Checks one source file and returns its surviving findings.
+pub fn check_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let toks = lex(source);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let test_lines = test_region_lines(&code);
+    let (allows, mut findings) = parse_allow_annotations(rel_path, &toks);
+
+    if cfg.lint_enabled("L1") && l1_applies(rel_path, cfg) {
+        findings.extend(l1_wall_clock(rel_path, &code));
+    }
+    if cfg.lint_enabled("L2") {
+        findings.extend(l2_panic_paths(rel_path, &code));
+    }
+    if cfg.lint_enabled("L3") && cfg.l3_files.iter().any(|f| f == rel_path) {
+        findings.extend(l3_numeric_integrity(rel_path, &code));
+    }
+    if cfg.lint_enabled("L4") && rel_path.ends_with(&format!("/{}", cfg.l4_file_name)) {
+        findings.extend(l4_paper_citations(rel_path, &toks, &code));
+    }
+    if cfg.lint_enabled("L5") {
+        findings.extend(l5_typed_errors(rel_path, &code));
+    }
+
+    findings.retain(|f| {
+        if test_lines.contains(&f.line) && f.lint != "meta" {
+            return false;
+        }
+        !allows
+            .get(&f.line)
+            .is_some_and(|ids| ids.iter().any(|id| id == f.lint))
+    });
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// True if L1 (wall-clock ban) covers this file's crate.
+fn l1_applies(rel_path: &str, cfg: &Config) -> bool {
+    let mut parts = rel_path.split('/');
+    parts.next() == Some("crates")
+        && parts
+            .next()
+            .is_some_and(|c| cfg.l1_crates.iter().any(|k| k == c))
+}
+
+/// Returns the set of lines inside `#[cfg(test)]` / `#[test]` items.
+fn test_region_lines(code: &[&Tok]) -> std::collections::HashSet<usize> {
+    let mut lines = std::collections::HashSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_line = code[i].line;
+            let (is_test, after_attr) = scan_attribute(code, i + 1);
+            if is_test {
+                // Skip any further attributes, then span the item itself.
+                let mut j = after_attr;
+                while j < code.len()
+                    && code[j].is_punct('#')
+                    && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let (_, next) = scan_attribute(code, j + 1);
+                    j = next;
+                }
+                let end_line = item_end_line(code, j);
+                for line in attr_line..=end_line {
+                    lines.insert(line);
+                }
+                i = j;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Scans a `[...]` attribute starting at its opening bracket; returns
+/// whether it marks test code, and the index just past the `]`.
+fn scan_attribute(code: &[&Tok], open: usize) -> (bool, usize) {
+    let mut depth = 0;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut i = open;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (has_test && !has_not, i + 1);
+            }
+        } else if t.is_ident("test") {
+            has_test = true;
+        } else if t.is_ident("not") {
+            // `#[cfg(not(test))]` is production code, not test code.
+            has_not = true;
+        }
+        i += 1;
+    }
+    (false, i)
+}
+
+/// Returns the last line of the item starting at `start` (a body `{...}`
+/// balanced to its close, or a declaration ending in `;`).
+fn item_end_line(code: &[&Tok], start: usize) -> usize {
+    let mut depth = 0;
+    let mut i = start;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return t.line;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return t.line;
+        }
+        i += 1;
+    }
+    code.last().map(|t| t.line).unwrap_or(1)
+}
+
+/// Parses `// ros-analysis: allow(Lx, reason)` comments.
+///
+/// An annotation suppresses matching findings on its own line and on the
+/// following line, so it can sit at the end of the offending line or on
+/// its own line directly above. A missing reason is itself reported: the
+/// reason is the audit trail, not decoration.
+fn parse_allow_annotations(
+    rel_path: &str,
+    toks: &[Tok],
+) -> (HashMap<usize, Vec<String>>, Vec<Finding>) {
+    let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
+    let mut findings = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let Some(rest) = t.text.trim().strip_prefix("ros-analysis:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|inner| {
+                let (id, reason) = inner.split_once(',')?;
+                let id = id.trim();
+                let reason = reason.trim();
+                (matches!(id, "L1" | "L2" | "L3" | "L4" | "L5") && !reason.is_empty())
+                    .then(|| id.to_string())
+            });
+        match parsed {
+            Some(id) => {
+                allows.entry(t.line).or_default().push(id.clone());
+                allows.entry(t.line + 1).or_default().push(id);
+            }
+            None => findings.push(Finding {
+                lint: "meta",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "malformed annotation `{}`; expected `ros-analysis: allow(Lx, reason)` \
+                     with a non-empty reason",
+                    t.text.trim()
+                ),
+            }),
+        }
+    }
+    (allows, findings)
+}
+
+/// L1: wall-clock types in simulation-facing crates.
+///
+/// Simulated components must take time from `SimTime`; an `Instant` or
+/// `SystemTime` smuggles host wall-clock time into results and destroys
+/// run-to-run reproducibility.
+fn l1_wall_clock(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for t in code {
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            findings.push(Finding {
+                lint: "L1",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "wall-clock type `{}` in a simulation-facing crate; model time with \
+                     ros_sim::SimTime so runs stay deterministic",
+                    t.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// L2: `unwrap()` / `expect()` / `panic!` in non-test library code.
+fn l2_panic_paths(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            findings.push(Finding {
+                lint: "L2",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` in library code; propagate the crate's typed error instead, \
+                     or annotate why this cannot fail",
+                    t.text
+                ),
+            });
+        } else if (t.is_ident("panic") || t.is_ident("unreachable") || t.is_ident("todo"))
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            findings.push(Finding {
+                lint: "L2",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}!` in library code; return an error instead, or annotate why \
+                     this branch is unreachable",
+                    t.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// L3: bare narrowing casts and unchecked `+` / `*` in numeric-integrity
+/// modules (parity math, burn-speed integration, the simulation clock).
+fn l3_numeric_integrity(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.is_ident("as")
+            && code
+                .get(i + 1)
+                .is_some_and(|n| NARROW_TARGETS.iter().any(|ty| n.is_ident(ty)))
+        {
+            findings.push(Finding {
+                lint: "L3",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "bare narrowing cast `as {}`; use try_from / masking, or annotate the \
+                     range argument",
+                    code[i + 1].text
+                ),
+            });
+            continue;
+        }
+        let op = if t.is_punct('+') {
+            "+"
+        } else if t.is_punct('*') {
+            "*"
+        } else {
+            continue;
+        };
+        let compound = code.get(i + 1).is_some_and(|n| n.is_punct('='));
+        let binary = is_value_end(code.get(i.wrapping_sub(1)).copied())
+            && (compound || is_value_start(code.get(i + 1).copied()));
+        if i > 0 && binary {
+            findings.push(Finding {
+                lint: "L3",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "unchecked `{}{}`; use checked/saturating arithmetic, or annotate why \
+                     overflow is impossible",
+                    op,
+                    if compound { "=" } else { "" }
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// True if a token can end a value expression (making a following `+`/`*`
+/// a binary operator rather than a unary deref/reference).
+fn is_value_end(t: Option<&Tok>) -> bool {
+    t.is_some_and(|t| {
+        (matches!(t.kind, TokKind::Ident | TokKind::Num | TokKind::Lit) && !is_keyword(&t.text))
+            || t.is_punct(')')
+            || t.is_punct(']')
+    })
+}
+
+/// Keywords that may precede `*` / `+` without forming a binary
+/// expression (`match *self`, `return *x`, ...).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "match"
+            | "return"
+            | "if"
+            | "else"
+            | "while"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "yield"
+            | "box"
+            | "await"
+    )
+}
+
+/// True if a token can start a value expression.
+fn is_value_start(t: Option<&Tok>) -> bool {
+    t.is_some_and(|t| {
+        matches!(t.kind, TokKind::Ident | TokKind::Num | TokKind::Lit)
+            || t.is_punct('(')
+            || t.is_punct('*')
+            || t.is_punct('&')
+    })
+}
+
+/// L4: numeric constants in parameter files must cite the paper.
+///
+/// Every `const` or `fn` item in a `params.rs` that contains a numeric
+/// literal needs a comment — attached doc comment or a comment inside the
+/// item — citing where the number comes from (`§4.2`, `Table 3`, `Fig 8`).
+fn l4_paper_citations(rel_path: &str, toks: &[Tok], code: &[&Tok]) -> Vec<Finding> {
+    // Comments by line, for attachment lookups.
+    let mut comment_lines: HashMap<usize, String> = HashMap::new();
+    for t in toks {
+        if t.kind == TokKind::Comment {
+            comment_lines.entry(t.line).or_default().push_str(&t.text);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        let (is_const, is_fn) = (t.is_ident("const"), t.is_ident("fn"));
+        if !is_const && !is_fn {
+            i += 1;
+            continue;
+        }
+        // `const` inside a fn signature (`const fn`) is part of the fn item.
+        if is_const && code.get(i + 1).is_some_and(|n| n.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let name = code.get(i + 1).map(|n| n.text.clone()).unwrap_or_default();
+        let start = i;
+        let end = item_end_index(code, i, is_const);
+        let span_has_number = code[start..=end.min(code.len() - 1)]
+            .iter()
+            .any(|t| t.kind == TokKind::Num);
+        if span_has_number {
+            let first_line = t.line;
+            let last_line = code[end.min(code.len() - 1)].line;
+            let mut text = String::new();
+            // Attached comments: contiguous comment lines directly above.
+            let mut l = first_line;
+            while l > 1 && comment_lines.contains_key(&(l - 1)) {
+                l -= 1;
+                text.push_str(&comment_lines[&l]);
+                text.push(' ');
+            }
+            // Plus comments inside the item span.
+            for line in first_line..=last_line {
+                if let Some(c) = comment_lines.get(&line) {
+                    text.push_str(c);
+                    text.push(' ');
+                }
+            }
+            if !has_citation(&text) {
+                findings.push(Finding {
+                    lint: "L4",
+                    file: rel_path.to_string(),
+                    line: first_line,
+                    message: format!(
+                        "parameter `{name}` has no paper citation; add a comment pointing \
+                         at the source (e.g. `§4.2`, `Table 3`, `Fig 8`)"
+                    ),
+                });
+            }
+        }
+        i = end + 1;
+    }
+    findings
+}
+
+/// Index of the last token of the item starting at `start`.
+fn item_end_index(code: &[&Tok], start: usize, is_const: bool) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if !is_const && depth == 0 {
+                return i;
+            }
+        } else if t.is_punct(';') && depth == 0 && is_const {
+            return i;
+        } else if t.is_punct(';') && depth == 0 && !is_const && i > start {
+            // Bodyless fn (trait method); shouldn't appear in params files.
+            return i;
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// True if comment text cites the paper: a `§` section, a numbered table
+/// or figure, or an explicit `paper` reference.
+fn has_citation(text: &str) -> bool {
+    if text.contains('§') || text.to_lowercase().contains("paper") {
+        return true;
+    }
+    let lower = text.to_lowercase();
+    for marker in ["table", "fig"] {
+        let mut rest = lower.as_str();
+        while let Some(pos) = rest.find(marker) {
+            let after = &rest[pos + marker.len()..];
+            if after
+                .trim_start_matches(|c: char| c.is_alphabetic() || c == '.' || c == ' ')
+                .starts_with(|c: char| c.is_ascii_digit())
+            {
+                return true;
+            }
+            rest = after;
+        }
+    }
+    false
+}
+
+/// L5: public `Result`-returning APIs must use a typed error, not
+/// `String` or `Box<dyn Error>` — callers need to match on failure modes.
+fn l5_typed_errors(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        if code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < code.len()
+            && code[j].kind == TokKind::Ident
+            && matches!(
+                code[j].text.as_str(),
+                "async" | "unsafe" | "const" | "extern"
+            )
+        {
+            j += 1;
+        }
+        if !code.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let fn_name = code.get(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+        let fn_line = code[j].line;
+        if let Some(err_tokens) = return_error_type(code, j) {
+            if is_stringly_error(&err_tokens) {
+                let rendered: Vec<&str> = err_tokens.iter().map(|t| t.text.as_str()).collect();
+                findings.push(Finding {
+                    lint: "L5",
+                    file: rel_path.to_string(),
+                    line: fn_line,
+                    message: format!(
+                        "public fn `{fn_name}` returns Result<_, {}>; use the crate's typed \
+                         error enum so callers can match on failure modes",
+                        rendered.join("")
+                    ),
+                });
+            }
+        }
+        i = j + 1;
+    }
+    findings
+}
+
+/// Extracts the error-type tokens of a `-> Result<_, E>` return, if the fn
+/// starting at index `fn_idx` has one.
+fn return_error_type<'t>(code: &[&'t Tok], fn_idx: usize) -> Option<Vec<&'t Tok>> {
+    // Find the argument list and skip it.
+    let mut i = fn_idx;
+    while i < code.len() && !code[i].is_punct('(') {
+        if code[i].is_punct('{') || code[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    let mut depth = 0;
+    while i < code.len() {
+        if code[i].is_punct('(') {
+            depth += 1;
+        } else if code[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        i += 1;
+    }
+    // Expect `->` next; otherwise the fn returns unit.
+    if !(code.get(i + 1).is_some_and(|t| t.is_punct('-'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct('>')))
+    {
+        return None;
+    }
+    let mut i = i + 3;
+    // Skip a path prefix like `crate::` or `std::result::`.
+    while code.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+        && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        i += 3;
+    }
+    if !code.get(i).is_some_and(|t| t.is_ident("Result")) {
+        return None;
+    }
+    if !code.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+        return None;
+    }
+    // Collect type args at angle depth 1, split on top-level commas.
+    let mut args: Vec<Vec<&Tok>> = vec![Vec::new()];
+    let mut angle = 1;
+    let mut other = 0;
+    let mut k = i + 2;
+    while k < code.len() && angle > 0 {
+        let t = code[k];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+            if angle == 0 {
+                break;
+            }
+        } else if t.is_punct('(') || t.is_punct('[') {
+            other += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            other -= 1;
+        } else if t.is_punct(',') && angle == 1 && other == 0 {
+            args.push(Vec::new());
+            k += 1;
+            continue;
+        }
+        if let Some(last) = args.last_mut() {
+            last.push(t);
+        }
+        k += 1;
+    }
+    (args.len() >= 2).then(|| args.pop().unwrap_or_default())
+}
+
+/// True if an error type is `String`, `&str`, or `Box<dyn ...>`.
+fn is_stringly_error(err: &[&Tok]) -> bool {
+    match err.first() {
+        Some(t) if t.is_ident("String") && err.len() == 1 => true,
+        Some(t) if t.is_punct('&') => err.iter().any(|t| t.is_ident("str")),
+        Some(t) if t.is_ident("Box") => err.iter().any(|t| t.is_ident("dyn")),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            l1_crates: vec!["sim".to_string()],
+            l3_files: vec!["crates/disk/src/parity.rs".to_string()],
+            ..Config::default()
+        }
+    }
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        check_source(path, src, &cfg())
+    }
+
+    #[test]
+    fn l1_flags_wall_clock_only_in_scoped_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let hits = lint("crates/sim/src/clock.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "L1");
+        assert!(lint("crates/tco/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_unwrap_expect_panic() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); x.expect(\"y\"); panic!(\"z\"); }";
+        let hits = lint("crates/sim/src/a.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.lint == "L2").count(), 3);
+    }
+
+    #[test]
+    fn l2_ignores_tests_and_comments_and_strings() {
+        let src = r#"
+            // calling unwrap() here would panic!()
+            fn f() { let s = "don't unwrap() this"; }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { None::<u8>.unwrap(); }
+            }
+        "#;
+        assert!(lint("crates/sim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(lint("crates/sim/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_with_reason() {
+        let same_line =
+            "fn f(x: Option<u8>) { x.unwrap(); } // ros-analysis: allow(L2, init-only) ";
+        assert!(lint("crates/sim/src/a.rs", same_line).is_empty());
+        let line_above =
+            "// ros-analysis: allow(L2, init-only)\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(lint("crates/sim/src/a.rs", line_above).is_empty());
+        // Wrong lint id does not suppress; reason-less annotation is itself
+        // a finding.
+        let wrong = "fn f(x: Option<u8>) { x.unwrap(); } // ros-analysis: allow(L1, whatever)";
+        assert_eq!(lint("crates/sim/src/a.rs", wrong).len(), 1);
+        let no_reason = "// ros-analysis: allow(L2)\nfn f() {}";
+        let hits = lint("crates/sim/src/a.rs", no_reason);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "meta");
+    }
+
+    #[test]
+    fn l3_flags_narrowing_and_bare_arithmetic() {
+        let src = "fn f(a: u16, b: u64) -> u8 { let x = b + 1; let y = a * a; (x as u8) }";
+        let hits = lint("crates/disk/src/parity.rs", src);
+        let lints: Vec<&str> = hits.iter().map(|f| f.lint).collect();
+        assert_eq!(lints, vec!["L3", "L3", "L3"]);
+        // Same file outside the configured list: clean.
+        assert!(lint("crates/disk/src/other.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_skips_deref_and_widening() {
+        let src = "fn f(p: &mut u64, b: u64) { *p ^= b; let w = b as u64; let v = -b; }";
+        assert!(lint("crates/disk/src/parity.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_citations_on_numeric_params() {
+        let src = r#"
+/// Discs per tray (§3.2).
+pub const CITED: u32 = 12;
+
+/// A magic number somebody measured one afternoon.
+pub const UNCITED: u32 = 7;
+
+/// Derived, no literal — needs no citation.
+pub const DERIVED: u32 = CITED;
+
+/// Seek pause (Table 3).
+pub fn cited_fn() -> u64 { 1_700 }
+
+pub fn uncited_fn() -> u64 { 42 }
+"#;
+        let hits = lint("crates/mech/src/params.rs", src);
+        let names: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(hits.len(), 2, "{names:?}");
+        assert!(hits[0].message.contains("UNCITED"));
+        assert!(hits[1].message.contains("uncited_fn"));
+        // Not a params file: exempt.
+        assert!(lint("crates/mech/src/roller.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_stringly_errors_in_public_api() {
+        let src = r#"
+pub fn bad_string(x: u8) -> Result<u8, String> { Ok(x) }
+pub fn bad_box() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }
+pub fn good(x: u8) -> Result<u8, crate::Error> { Ok(x) }
+fn private() -> Result<u8, String> { Ok(1) }
+pub(crate) fn scoped() -> Result<u8, String> { Ok(1) }
+pub fn unit() {}
+pub fn generic_ok() -> Result<Vec<(String, u8)>, MyError> { Ok(vec![]) }
+"#;
+        let hits = lint("crates/access/src/api.rs", src);
+        let names: Vec<String> = hits.iter().map(|f| f.message.clone()).collect();
+        assert_eq!(hits.len(), 2, "{names:?}");
+        assert!(hits[0].message.contains("bad_string"));
+        assert!(hits[1].message.contains("bad_box"));
+    }
+}

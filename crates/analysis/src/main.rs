@@ -1,0 +1,66 @@
+//! CLI for the workspace domain-lint auditor.
+//!
+//! ```text
+//! cargo run -p ros-analysis -- check [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+
+use ros_analysis::{check_tree, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ros-analysis check [--root DIR] [--config FILE]
+
+Audits workspace sources against the domain lints L1..L5 configured in
+analysis.toml. See crates/analysis/src/lib.rs for the rule catalogue.";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("ros-analysis: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<usize, String> {
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut config_path = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?),
+            "--config" => {
+                config_path = Some(PathBuf::from(
+                    it.next().ok_or("--config needs a file argument")?,
+                ))
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+        }
+    }
+    if command != Some("check") {
+        return Err(USAGE.to_string());
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("analysis.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let cfg = Config::parse(&text).map_err(|e| e.to_string())?;
+
+    let report = check_tree(&root, &cfg).map_err(|e| format!("walk failed: {e}"))?;
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "ros-analysis: {} finding(s) in {} file(s) checked",
+        report.findings.len(),
+        report.files_checked
+    );
+    Ok(report.findings.len())
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `ros-analysis` binary against seeded fixture
+//! trees — one violation per lint — plus the head-is-clean gate.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_check(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ros-analysis"))
+        .args(["check", "--root"])
+        .arg(root)
+        .output()
+        .expect("analyzer binary runs")
+}
+
+/// Asserts the analyzer flags exactly the seeded `lint` at `file:line`
+/// and exits non-zero.
+fn assert_one_finding(case: &str, lint: &str, file: &str, line: u32) {
+    let out = run_check(&fixture(case));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fixture {case} must exit 1, got {:?}\nstdout:\n{stdout}",
+        out.status.code()
+    );
+    let needle = format!("{file}:{line}: {lint}:");
+    assert!(
+        stdout.contains(&needle),
+        "fixture {case} output missing `{needle}`:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("ros-analysis: 1 finding(s)"),
+        "fixture {case} must report exactly one finding:\n{stdout}"
+    );
+}
+
+#[test]
+fn l1_flags_wall_clock_in_sim_crate() {
+    assert_one_finding("l1", "L1", "crates/sim/src/clock.rs", 5);
+}
+
+#[test]
+fn l2_flags_unwrap_in_library_code() {
+    assert_one_finding("l2", "L2", "crates/olfs/src/engine.rs", 5);
+}
+
+#[test]
+fn l3_flags_unchecked_add_in_parity_math() {
+    assert_one_finding("l3", "L3", "crates/disk/src/parity.rs", 5);
+}
+
+#[test]
+fn l4_flags_uncited_constant_in_params() {
+    assert_one_finding("l4", "L4", "crates/olfs/src/params.rs", 4);
+}
+
+#[test]
+fn l5_flags_stringly_typed_result_api() {
+    assert_one_finding("l5", "L5", "crates/olfs/src/api.rs", 4);
+}
+
+#[test]
+fn annotated_exception_is_clean() {
+    let out = run_check(&fixture("clean"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean fixture must exit 0:\n{stdout}"
+    );
+    assert!(stdout.contains("ros-analysis: 0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn workspace_head_is_clean() {
+    // The real tree, with the real analysis.toml: the repository must
+    // stay lint-clean (intentional exceptions are annotated in place).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = run_check(&root);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace HEAD must be lint-clean:\n{stdout}"
+    );
+}
+
+#[test]
+fn missing_config_is_a_usage_error() {
+    let out = run_check(&fixture("no-such-dir"));
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}

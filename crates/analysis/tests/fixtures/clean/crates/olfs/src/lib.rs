@@ -1,0 +1,7 @@
+//! Fixture: clean code including a properly annotated exception.
+
+/// Returns the first byte of a non-empty slice.
+pub fn first_byte(data: &[u8]) -> u8 {
+    // ros-analysis: allow(L2, fixture demonstrating a documented exception)
+    *data.first().expect("callers pass non-empty data")
+}

@@ -1,0 +1,6 @@
+//! Fixture: wall-clock type in a simulation-facing crate (L1).
+
+/// Reads the host clock — forbidden in sim-facing crates.
+pub fn elapsed_wall_nanos() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! Fixture: unannotated `unwrap()` in library code (L2).
+
+/// Returns the first byte of a slice.
+pub fn first_byte(data: &[u8]) -> u8 {
+    *data.first().unwrap()
+}

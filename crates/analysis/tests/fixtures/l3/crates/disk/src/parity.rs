@@ -1,0 +1,6 @@
+//! Fixture: unchecked arithmetic in a numeric-integrity module (L3).
+
+/// Adds two stripe lengths without overflow checking.
+pub fn stripe_len(a: u64, b: u64) -> u64 {
+    a + b
+}

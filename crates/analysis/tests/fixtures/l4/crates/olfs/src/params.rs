@@ -1,0 +1,4 @@
+//! Fixture: numeric constant without a paper citation (L4).
+
+/// Bucket write latency in milliseconds.
+pub const BUCKET_WRITE_MS: u64 = 2;

@@ -1,0 +1,9 @@
+//! Fixture: public Result API with a stringly-typed error (L5).
+
+/// Validates a count.
+pub fn validate(x: u32) -> Result<(), String> {
+    if x == 0 {
+        return Err("zero".to_string());
+    }
+    Ok(())
+}

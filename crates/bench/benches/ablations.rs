@@ -3,13 +3,13 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", ros_bench::render::render_ablations());
-    let (spread, crammed) = ros_bench::ablation_volumes();
+    println!("{}", ros_bench::render::render_ablations().expect("render"));
+    let (spread, crammed) = ros_bench::ablation_volumes().expect("volumes");
     assert!(spread > crammed * 1.5, "volume spreading must pay off");
-    let (par, ser) = ros_bench::ablation_parallel_scheduling();
+    let (par, ser) = ros_bench::ablation_parallel_scheduling().expect("scheduling");
     let saving = ser - par;
     assert!((7.0..10.0).contains(&saving), "saving = {saving:.1}s");
-    let (fp_ms, no_fp_s) = ros_bench::ablation_forepart();
+    let (fp_ms, no_fp_s) = ros_bench::ablation_forepart().expect("forepart");
     assert!(fp_ms <= 2.1, "forepart first byte = {fp_ms} ms");
     assert!(no_fp_s > 60.0, "without forepart = {no_fp_s} s");
     let mut group = c.benchmark_group("ablations");

@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let ops = ros_bench::fig7();
-    println!("{}", ros_bench::render::render_fig7());
+    let ops = ros_bench::fig7().expect("fig7");
+    println!("{}", ros_bench::render::render_fig7().expect("render"));
     for op in &ops {
         let rel = (op.measured_ms - op.paper_ms).abs() / op.paper_ms;
         assert!(

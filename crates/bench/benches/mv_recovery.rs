@@ -3,8 +3,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let t = ros_bench::mv_recovery_default();
-    println!("{}", ros_bench::render::render_mvrec());
+    let t = ros_bench::mv_recovery_default().expect("mv recovery");
+    println!("{}", ros_bench::render::render_mvrec().expect("render"));
     let mins = t.as_secs_f64() / 60.0;
     assert!((27.0..33.0).contains(&mins), "recovery = {mins:.1} min");
     c.bench_function("mvrec/model_120_discs", |b| {

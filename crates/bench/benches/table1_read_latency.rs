@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let rows = ros_bench::table1();
-    println!("{}", ros_bench::render::render_table1());
+    let rows = ros_bench::table1().expect("table1");
+    println!("{}", ros_bench::render::render_table1().expect("render"));
     // Shape assertions: each row strictly slower than the previous.
     for pair in rows.windows(2) {
         assert!(

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let rows = ros_bench::table3();
-    println!("{}", ros_bench::render::render_table3());
+    let rows = ros_bench::table3().expect("table3");
+    println!("{}", ros_bench::render::render_table3().expect("render"));
     for row in &rows {
         assert!((row.load - row.paper_load).abs() < 0.1, "{}", row.location);
         assert!(

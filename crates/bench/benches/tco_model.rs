@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let rows = ros_bench::tco();
-    println!("{}", ros_bench::render::render_tco());
+    println!("{}", ros_bench::render::render_tco().expect("render"));
     let get = |n: &str| rows.iter().find(|b| b.name == n).expect("media").total();
     let optical = get("optical");
     assert!((optical - 250_000.0).abs() / 250_000.0 < 0.15);

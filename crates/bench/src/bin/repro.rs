@@ -8,15 +8,15 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let out = match arg.as_str() {
         "table1" => render::render_table1(),
-        "table2" => render::render_table2(),
+        "table2" => Ok(render::render_table2()),
         "table3" => render::render_table3(),
-        "fig6" => render::render_fig6(),
+        "fig6" => Ok(render::render_fig6()),
         "fig7" => render::render_fig7(),
-        "fig8" => render::render_fig8(),
-        "fig9" => render::render_fig9(),
-        "fig10" => render::render_fig10(),
+        "fig8" => Ok(render::render_fig8()),
+        "fig9" => Ok(render::render_fig9()),
+        "fig10" => Ok(render::render_fig10()),
         "tco" => render::render_tco(),
-        "power" => render::render_power(),
+        "power" => Ok(render::render_power()),
         "mvrec" => render::render_mvrec(),
         "capacity" => render::render_capacity(),
         "ablations" => render::render_ablations(),
@@ -30,5 +30,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    print!("{out}");
+    match out {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -11,6 +11,41 @@ use ros_olfs::{Redundancy, Ros, RosConfig, UdfPath};
 use ros_sim::{Bandwidth, SimDuration, SimRng, SimTime};
 use ros_tco::{RackPower, RackState, TcoModel};
 
+/// An experiment scenario failed to build or run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchError {
+    /// The failing experiment step.
+    pub context: &'static str,
+    /// Underlying error text.
+    pub detail: String,
+}
+
+impl BenchError {
+    /// Adapter for `map_err`: tags an underlying error with the step.
+    fn wrap<E: core::fmt::Display>(context: &'static str) -> impl Fn(E) -> BenchError + Copy {
+        move |e| BenchError {
+            context,
+            detail: e.to_string(),
+        }
+    }
+
+    /// A scenario invariant failed (no underlying error object).
+    fn state(context: &'static str, detail: impl Into<String>) -> BenchError {
+        BenchError {
+            context,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.context, self.detail)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
 /// Extracts the pure data-access latency from an operation trace — the
 /// quantity Table 1 reports (device time and mechanical time, without
 /// the per-op FUSE overheads of Figure 7).
@@ -63,20 +98,39 @@ fn table1_config() -> RosConfig {
 }
 
 fn p(s: &str) -> UdfPath {
+    // ros-analysis: allow(L2, every caller passes a well-formed path literal)
     s.parse().expect("static path")
+}
+
+/// Checks that a Table 1 row was served from the location it models.
+fn expect_source(
+    row: &'static str,
+    got: ros_olfs::engine::ReadSource,
+    want: ros_olfs::engine::ReadSource,
+) -> Result<(), BenchError> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(BenchError::state(
+            row,
+            format!("read served from {got:?}, scenario expects {want:?}"),
+        ))
+    }
 }
 
 /// Regenerates Table 1: read latency from each of the six file
 /// locations. The mechanical rows use the full 85-layer rack model; data
 /// rows use scaled discs (timing is size-independent at 1 KB files).
-pub fn table1() -> Vec<Table1Row> {
+pub fn table1() -> Result<Vec<Table1Row>, BenchError> {
+    use ros_olfs::engine::ReadSource;
     let mut rows = Vec::new();
+    let e = BenchError::wrap("table1");
 
     // Row 1: file still in a disk bucket.
     let mut ros = Ros::new(table1_config());
     ros.write_file(&p("/t1/bucket"), vec![1u8; 1024])
-        .expect("write");
-    let r = ros.read_file(&p("/t1/bucket")).expect("read");
+        .map_err(e)?;
+    let r = ros.read_file(&p("/t1/bucket")).map_err(e)?;
     rows.push(Table1Row {
         location: "Disk bucket",
         paper_secs: Some(0.001),
@@ -85,9 +139,9 @@ pub fn table1() -> Vec<Table1Row> {
 
     // Row 2: sealed disc image on the disk buffer.
     ros.write_file(&p("/t1/image"), vec![2u8; 1024])
-        .expect("write");
-    ros.seal_open_buckets().expect("seal");
-    let r = ros.read_file(&p("/t1/image")).expect("read");
+        .map_err(e)?;
+    ros.seal_open_buckets().map_err(e)?;
+    let r = ros.read_file(&p("/t1/image")).map_err(e)?;
     rows.push(Table1Row {
         location: "Disc image",
         paper_secs: Some(0.002),
@@ -99,20 +153,16 @@ pub fn table1() -> Vec<Table1Row> {
     let mut ros = Ros::new(table1_config());
     for i in 0..12 {
         ros.write_file(&p(&format!("/t1/set-a/{i}")), vec![3u8; 900_000])
-            .expect("write");
+            .map_err(e)?;
     }
     ros.write_file(&p("/t1/set-a/probe"), vec![9u8; 1024])
-        .expect("write");
-    ros.flush().expect("flush");
+        .map_err(e)?;
+    ros.flush().map_err(e)?;
     ros.evict_burned_copies();
 
     // Row 3: the freshly burned array is still in the drives.
-    let r = ros.read_file(&p("/t1/set-a/probe")).expect("read");
-    assert_eq!(
-        r.source,
-        ros_olfs::engine::ReadSource::DiscInDrive,
-        "row 3 expects the disc in a drive"
-    );
+    let r = ros.read_file(&p("/t1/set-a/probe")).map_err(e)?;
+    expect_source("table1 row 3", r.source, ReadSource::DiscInDrive)?;
     rows.push(Table1Row {
         location: "Disc in optical drive",
         paper_secs: Some(0.223),
@@ -120,10 +170,10 @@ pub fn table1() -> Vec<Table1Row> {
     });
 
     // Row 4: array back in the roller, drives free.
-    ros.unload_all_bays().expect("unload");
+    ros.unload_all_bays().map_err(e)?;
     ros.evict_burned_copies();
-    let r = ros.read_file(&p("/t1/set-a/probe")).expect("read");
-    assert_eq!(r.source, ros_olfs::engine::ReadSource::RollerFreeDrives);
+    let r = ros.read_file(&p("/t1/set-a/probe")).map_err(e)?;
+    expect_source("table1 row 4", r.source, ReadSource::RollerFreeDrives)?;
     rows.push(Table1Row {
         location: "Disc array in the roller with free drives",
         paper_secs: Some(70.553),
@@ -134,12 +184,12 @@ pub fn table1() -> Vec<Table1Row> {
     // Burn a second set so the bay is occupied by set B, then read set A.
     for i in 0..12 {
         ros.write_file(&p(&format!("/t1/set-b/{i}")), vec![4u8; 900_000])
-            .expect("write");
+            .map_err(e)?;
     }
-    ros.flush().expect("flush");
+    ros.flush().map_err(e)?;
     ros.evict_burned_copies();
-    let r = ros.read_file(&p("/t1/set-a/probe")).expect("read");
-    assert_eq!(r.source, ros_olfs::engine::ReadSource::RollerUnloadFirst);
+    let r = ros.read_file(&p("/t1/set-a/probe")).map_err(e)?;
+    expect_source("table1 row 5", r.source, ReadSource::RollerUnloadFirst)?;
     rows.push(Table1Row {
         location: "Disc array in the roller and drives are not working",
         paper_secs: Some(155.037),
@@ -152,28 +202,28 @@ pub fn table1() -> Vec<Table1Row> {
     let mut ros = Ros::new(table1_config());
     for i in 0..12 {
         ros.write_file(&p(&format!("/t1/cold/{i}")), vec![5u8; 900_000])
-            .expect("write");
+            .map_err(e)?;
     }
-    ros.flush().expect("flush");
-    ros.unload_all_bays().expect("unload");
+    ros.flush().map_err(e)?;
+    ros.unload_all_bays().map_err(e)?;
     ros.evict_burned_copies();
     // Kick off a new burn and read a cold file while it runs.
     for i in 0..12 {
         ros.write_file(&p(&format!("/t1/hot/{i}")), vec![6u8; 900_000])
-            .expect("write");
+            .map_err(e)?;
     }
-    ros.seal_open_buckets().expect("seal");
+    ros.seal_open_buckets().map_err(e)?;
     ros.force_close_collecting_group();
     ros.run_for(SimDuration::from_millis(4_000)); // Parity done, burn starts.
-    let r = ros.read_file(&p("/t1/cold/3")).expect("read");
-    assert_eq!(r.source, ros_olfs::engine::ReadSource::RollerDrivesBusy);
+    let r = ros.read_file(&p("/t1/cold/3")).map_err(e)?;
+    expect_source("table1 row 6", r.source, ReadSource::RollerDrivesBusy)?;
     rows.push(Table1Row {
         location: "Disc array in the roller and all drives are busy",
         paper_secs: None, // "minutes"
         measured_secs: data_access_latency(&r.trace).as_secs_f64(),
     });
 
-    rows
+    Ok(rows)
 }
 
 /// One row of Table 2.
@@ -228,18 +278,19 @@ pub struct Table3Row {
 }
 
 /// Regenerates Table 3: disc-array load/unload latency.
-pub fn table3() -> Vec<Table3Row> {
+pub fn table3() -> Result<Vec<Table3Row>, BenchError> {
     let layout = RackLayout::default();
-    let run = |layer: u32| -> (f64, f64) {
+    let run = |layer: u32| -> Result<(f64, f64), BenchError> {
+        let e = BenchError::wrap("table3");
         let mut sched = MechScheduler::new(Plc::new_full(layout), 1);
         let slot = SlotAddress::new(0, layer, 0);
-        let load = sched.load_array(slot, 0).expect("load").duration;
-        let unload = sched.unload_array(0).expect("unload").duration;
-        (load.as_secs_f64(), unload.as_secs_f64())
+        let load = sched.load_array(slot, 0).map_err(e)?.duration;
+        let unload = sched.unload_array(0).map_err(e)?.duration;
+        Ok((load.as_secs_f64(), unload.as_secs_f64()))
     };
-    let (l0, u0) = run(0);
-    let (l84, u84) = run(layout.layers - 1);
-    vec![
+    let (l0, u0) = run(0)?;
+    let (l84, u84) = run(layout.layers - 1)?;
+    Ok(vec![
         Table3Row {
             location: "Uppermost layer",
             paper_load: 68.7,
@@ -254,7 +305,7 @@ pub fn table3() -> Vec<Table3Row> {
             paper_unload: 86.5,
             unload: u84,
         },
-    ]
+    ])
 }
 
 /// One bar pair of Figure 6.
@@ -307,7 +358,8 @@ pub struct Fig7Op {
 
 /// Regenerates Figure 7: the internal operation breakdown of 1 KB file
 /// writes and reads under ext4+OLFS and samba+OLFS.
-pub fn fig7() -> Vec<Fig7Op> {
+pub fn fig7() -> Result<Vec<Fig7Op>, BenchError> {
+    let e = BenchError::wrap("fig7");
     let mut out = Vec::new();
     for (stack, wl, rl, wp, rp) in [
         (AccessStack::Ext4Olfs, "OLFS write", "OLFS read", 16.0, 9.0),
@@ -320,9 +372,7 @@ pub fn fig7() -> Vec<Fig7Op> {
         ),
     ] {
         let mut g = ros_access::NasGateway::new(Ros::new(table1_config()), stack);
-        let w = g
-            .write_file(&p("/f7/file"), vec![0u8; 1024])
-            .expect("write");
+        let w = g.write_file(&p("/f7/file"), vec![0u8; 1024]).map_err(e)?;
         out.push(Fig7Op {
             label: wl,
             paper_ms: wp,
@@ -334,7 +384,7 @@ pub fn fig7() -> Vec<Fig7Op> {
                 .map(|s| (s.name.clone(), s.duration.as_millis_f64()))
                 .collect(),
         });
-        let r = g.read_file(&p("/f7/file")).expect("read");
+        let r = g.read_file(&p("/f7/file")).map_err(e)?;
         out.push(Fig7Op {
             label: rl,
             paper_ms: rp,
@@ -347,7 +397,7 @@ pub fn fig7() -> Vec<Fig7Op> {
                 .collect(),
         });
     }
-    out
+    Ok(out)
 }
 
 /// Figure 8 result: the single-drive 25 GB recording curve.
@@ -397,7 +447,8 @@ pub fn power() -> (f64, f64) {
 /// from `discs` partially-filled 100 GB MV snapshot discs using the
 /// prototype's 24 drives (paper: "ROS took half an hour to recover MV
 /// from 120 discs").
-pub fn mv_recovery_model(discs: u32, bytes_per_disc: u64) -> SimDuration {
+pub fn mv_recovery_model(discs: u32, bytes_per_disc: u64) -> Result<SimDuration, BenchError> {
+    let e = BenchError::wrap("mv_recovery");
     let layout = RackLayout::default();
     let bays = 2usize;
     let per_tray = layout.discs_per_tray;
@@ -411,17 +462,17 @@ pub fn mv_recovery_model(discs: u32, bytes_per_disc: u64) -> SimDuration {
         let slot = layout.slot_at((round * bays) as u32);
         // Discs in a tray are read in parallel; the tray occupies the
         // bay for load + slowest read + unload.
-        let load = sched.load_array(slot, 0).expect("load").duration;
-        let unload = sched.unload_array(0).expect("unload").duration;
+        let load = sched.load_array(slot, 0).map_err(e)?.duration;
+        let unload = sched.unload_array(0).map_err(e)?.duration;
         total += load + read_per_disc + unload;
     }
-    total
+    Ok(total)
 }
 
 /// Default parameters for the MV-recovery experiment: 120 discs holding
 /// ≈3.7 GB of MV snapshot data each (≈450 GB total — a billion-file MV
 /// compresses to this order).
-pub fn mv_recovery_default() -> SimDuration {
+pub fn mv_recovery_default() -> Result<SimDuration, BenchError> {
     mv_recovery_model(120, 3_700_000_000)
 }
 
@@ -429,9 +480,10 @@ pub fn mv_recovery_default() -> SimDuration {
 /// spread across two independent volumes. Returns the total useful
 /// bandwidth `(spread_mbps, crammed_mbps)` — the measurable benefit of
 /// "configure disks into multiple volumes of independent RAIDs".
-pub fn ablation_volumes() -> (f64, f64) {
+pub fn ablation_volumes() -> Result<(f64, f64), BenchError> {
     use ros_disk::volume::StreamKind;
     use ros_disk::{RaidArray, VolumeManager};
+    let e = BenchError::wrap("ablation_volumes");
     // Crammed: all four streams share one volume.
     let mut vm = VolumeManager::new();
     let a = vm.add_volume("only", RaidArray::prototype_data());
@@ -441,57 +493,59 @@ pub fn ablation_volumes() -> (f64, f64) {
         StreamKind::ParityWrite,
         StreamKind::BurnRead,
     ] {
-        vm.open_stream(a, kind).expect("open");
+        vm.open_stream(a, kind).map_err(e)?;
     }
-    let crammed = 2.0 * vm.effective_write_bandwidth(a).expect("bw").mb_per_sec()
-        + 2.0 * vm.effective_read_bandwidth(a).expect("bw").mb_per_sec();
+    let crammed = 2.0 * vm.effective_write_bandwidth(a).map_err(e)?.mb_per_sec()
+        + 2.0 * vm.effective_read_bandwidth(a).map_err(e)?.mb_per_sec();
     // Spread: writes on volume A, reads on volume B (2 streams each).
     let mut vm = VolumeManager::new();
     let a = vm.add_volume("writes", RaidArray::prototype_data());
     let b = vm.add_volume("reads", RaidArray::prototype_data());
-    vm.open_stream(a, StreamKind::UserWrite).expect("open");
-    vm.open_stream(a, StreamKind::ParityWrite).expect("open");
-    vm.open_stream(b, StreamKind::ParityRead).expect("open");
-    vm.open_stream(b, StreamKind::BurnRead).expect("open");
-    let spread = 2.0 * vm.effective_write_bandwidth(a).expect("bw").mb_per_sec()
-        + 2.0 * vm.effective_read_bandwidth(b).expect("bw").mb_per_sec();
-    (spread, crammed)
+    vm.open_stream(a, StreamKind::UserWrite).map_err(e)?;
+    vm.open_stream(a, StreamKind::ParityWrite).map_err(e)?;
+    vm.open_stream(b, StreamKind::ParityRead).map_err(e)?;
+    vm.open_stream(b, StreamKind::BurnRead).map_err(e)?;
+    let spread = 2.0 * vm.effective_write_bandwidth(a).map_err(e)?.mb_per_sec()
+        + 2.0 * vm.effective_read_bandwidth(b).map_err(e)?.mb_per_sec();
+    Ok((spread, crammed))
 }
 
 /// Ablation: the mechanical parallel-scheduling optimisation (§3.2).
 /// Returns `(parallel_cycle_secs, serial_cycle_secs)` for a lowest-layer
 /// load+unload cycle.
-pub fn ablation_parallel_scheduling() -> (f64, f64) {
+pub fn ablation_parallel_scheduling() -> Result<(f64, f64), BenchError> {
     let layout = RackLayout::default();
     let slot = SlotAddress::new(0, layout.layers - 1, 0);
-    let run = |parallel: bool| -> f64 {
+    let run = |parallel: bool| -> Result<f64, BenchError> {
+        let e = BenchError::wrap("ablation_parallel_scheduling");
         let mut sched = MechScheduler::new(Plc::new_full(layout), 1);
         sched.parallel_scheduling = parallel;
-        let l = sched.load_array(slot, 0).expect("load").duration;
-        let u = sched.unload_array(0).expect("unload").duration;
-        (l + u).as_secs_f64()
+        let l = sched.load_array(slot, 0).map_err(e)?.duration;
+        let u = sched.unload_array(0).map_err(e)?.duration;
+        Ok((l + u).as_secs_f64())
     };
-    (run(true), run(false))
+    Ok((run(true)?, run(false)?))
 }
 
 /// Ablation: forepart-data-stored mechanism (§4.8). Returns
 /// `(first_byte_with_ms, first_byte_without_secs)` for a cold read.
-pub fn ablation_forepart() -> (f64, f64) {
-    let run = |forepart: u64| -> f64 {
+pub fn ablation_forepart() -> Result<(f64, f64), BenchError> {
+    let run = |forepart: u64| -> Result<f64, BenchError> {
+        let e = BenchError::wrap("ablation_forepart");
         let mut cfg = table1_config();
         cfg.forepart_bytes = forepart;
         let mut ros = Ros::new(cfg);
         for i in 0..12 {
             ros.write_file(&p(&format!("/fp/{i}")), vec![1u8; 900_000])
-                .expect("write");
+                .map_err(e)?;
         }
-        ros.flush().expect("flush");
-        ros.unload_all_bays().expect("unload");
+        ros.flush().map_err(e)?;
+        ros.unload_all_bays().map_err(e)?;
         ros.evict_burned_copies();
-        let r = ros.read_file(&p("/fp/0")).expect("read");
-        r.first_byte_latency.as_secs_f64()
+        let r = ros.read_file(&p("/fp/0")).map_err(e)?;
+        Ok(r.first_byte_latency.as_secs_f64())
     };
-    (run(4096) * 1e3, run(0))
+    Ok((run(4096)? * 1e3, run(0)?))
 }
 
 /// Capacity-planning analysis derived from the models: how much ingest
@@ -522,7 +576,7 @@ pub struct CapacityReport {
 
 /// Computes the capacity report for the prototype (2 bays, 100 GB
 /// discs, 11+1 RAID-5 arrays).
-pub fn capacity() -> CapacityReport {
+pub fn capacity() -> Result<CapacityReport, BenchError> {
     let bays = 2.0;
     let data_fraction = 11.0 / 12.0;
     let network = ros_access::params::network_10gbe().mb_per_sec();
@@ -530,7 +584,7 @@ pub fn capacity() -> CapacityReport {
     let samba_write = stacks
         .iter()
         .find(|b| b.stack == "samba+OLFS")
-        .expect("bar")
+        .ok_or_else(|| BenchError::state("capacity", "fig6 has no samba+OLFS bar"))?
         .write_mbps;
 
     let set = DriveSet::new(12);
@@ -553,7 +607,7 @@ pub fn capacity() -> CapacityReport {
     } else {
         f64::INFINITY
     };
-    CapacityReport {
+    Ok(CapacityReport {
         network_mbps: network,
         samba_write_mbps: samba_write,
         direct_write_mbps: network,
@@ -561,5 +615,5 @@ pub fn capacity() -> CapacityReport {
         drain_bd25_mbps: drain_bd25,
         buffer_tb,
         burst_hours,
-    }
+    })
 }

@@ -11,13 +11,13 @@ fn hr(title: &str) -> String {
 }
 
 /// Renders Table 1.
-pub fn render_table1() -> String {
+pub fn render_table1() -> Result<String, BenchError> {
     let mut out = hr("Table 1: Read latency from different file locations");
     out += &format!(
         "{:<55} {:>12} {:>12}\n",
         "File location", "paper (s)", "ours (s)"
     );
-    for row in table1() {
+    for row in table1()? {
         let paper = row
             .paper_secs
             .map(|s| format!("{s:.3}"))
@@ -28,7 +28,7 @@ pub fn render_table1() -> String {
         );
     }
     out += "(row 6 measured at 4 MiB disc scale; at 25/100 GB media the wait\n is the residual burn time: up to 675 s / 3757 s per disc)\n";
-    out
+    Ok(out)
 }
 
 /// Renders Table 2.
@@ -52,19 +52,19 @@ pub fn render_table2() -> String {
 }
 
 /// Renders Table 3.
-pub fn render_table3() -> String {
+pub fn render_table3() -> Result<String, BenchError> {
     let mut out = hr("Table 3: Mechanical latency");
     out += &format!(
         "{:<18} {:>12} {:>12} {:>14} {:>14}\n",
         "Slot location", "paper load", "ours load", "paper unload", "ours unload"
     );
-    for row in table3() {
+    for row in table3()? {
         out += &format!(
             "{:<18} {:>11.1}s {:>11.1}s {:>13.1}s {:>13.1}s\n",
             row.location, row.paper_load, row.load, row.paper_unload, row.unload
         );
     }
-    out
+    Ok(out)
 }
 
 /// Renders Figure 6.
@@ -85,9 +85,9 @@ pub fn render_fig6() -> String {
 }
 
 /// Renders Figure 7.
-pub fn render_fig7() -> String {
+pub fn render_fig7() -> Result<String, BenchError> {
     let mut out = hr("Figure 7: OLFS internal operations per POSIX call");
-    for op in fig7() {
+    for op in fig7()? {
         out += &format!(
             "{:<22} total {:>6.1} ms (paper {:>4.0} ms)  steps: ",
             op.label, op.measured_ms, op.paper_ms
@@ -100,7 +100,7 @@ pub fn render_fig7() -> String {
         out += &steps.join(" → ");
         out += "\n";
     }
-    out
+    Ok(out)
 }
 
 /// Renders Figure 8.
@@ -181,7 +181,7 @@ pub fn render_fig10() -> String {
 }
 
 /// Renders the TCO comparison (§2.1).
-pub fn render_tco() -> String {
+pub fn render_tco() -> Result<String, BenchError> {
     let mut out = hr("TCO: 1 PB preserved for 100 years (§2.1 model)");
     out += &format!(
         "{:<9} {:>10} {:>11} {:>9} {:>12} {:>10} {:>11}\n",
@@ -200,15 +200,30 @@ pub fn render_tco() -> String {
             b.total()
         );
     }
-    let optical = rows.iter().find(|b| b.name == "optical").expect("optical");
-    let hdd = rows.iter().find(|b| b.name == "hdd").expect("hdd");
-    let tape = rows.iter().find(|b| b.name == "tape").expect("tape");
+    let missing = |name: &'static str| {
+        move || BenchError {
+            context: "render_tco",
+            detail: format!("TCO model has no {name} row"),
+        }
+    };
+    let optical = rows
+        .iter()
+        .find(|b| b.name == "optical")
+        .ok_or_else(missing("optical"))?;
+    let hdd = rows
+        .iter()
+        .find(|b| b.name == "hdd")
+        .ok_or_else(missing("hdd"))?;
+    let tape = rows
+        .iter()
+        .find(|b| b.name == "tape")
+        .ok_or_else(missing("tape"))?;
     out += &format!(
         "\noptical/hdd = {:.2} (paper: ~1/3), optical/tape = {:.2} (paper: ~1/2)\n",
         optical.total() / hdd.total(),
         optical.total() / tape.total()
     );
-    out
+    Ok(out)
 }
 
 /// Renders the power budget (§5.1).
@@ -220,20 +235,20 @@ pub fn render_power() -> String {
 }
 
 /// Renders the MV-recovery experiment (§4.2).
-pub fn render_mvrec() -> String {
-    let t = mv_recovery_default();
+pub fn render_mvrec() -> Result<String, BenchError> {
+    let t = mv_recovery_default()?;
     let mut out = hr("MV recovery from 120 discs (§4.2)");
     out += &format!(
         "recovered in {:.1} min (paper: \"half an hour\")\n",
         t.as_secs_f64() / 60.0
     );
     out += "(120 discs x 3.7 GB of MV snapshot, 10 tray cycles over 2 bays)\n";
-    out
+    Ok(out)
 }
 
 /// Renders the capacity-planning analysis.
-pub fn render_capacity() -> String {
-    let c = capacity();
+pub fn render_capacity() -> Result<String, BenchError> {
+    let c = capacity()?;
     let mut out = hr("Capacity planning (derived from the models)");
     out += &format!(
         "client network (10GbE payload):     {:>8.0} MB/s\n",
@@ -264,26 +279,26 @@ pub fn render_capacity() -> String {
         c.burst_hours
     );
     out += "(sustained ingest is drain-bound; §3.3's tiered buffer hides the gap for bursts)\n";
-    out
+    Ok(out)
 }
 
 /// Renders the ablation studies.
-pub fn render_ablations() -> String {
+pub fn render_ablations() -> Result<String, BenchError> {
     let mut out = hr("Ablations (design choices of §3.2, §4.7, §4.8)");
-    let (spread, crammed) = ablation_volumes();
+    let (spread, crammed) = ablation_volumes()?;
     out += &format!(
         "independent RAID volumes (§4.7): useful bandwidth {spread:.0} MB/s spread over two volumes vs {crammed:.0} MB/s crammed on one\n"
     );
-    let (par, ser) = ablation_parallel_scheduling();
+    let (par, ser) = ablation_parallel_scheduling()?;
     out += &format!(
         "parallel mech scheduling (§3.2): load+unload cycle {par:.1}s; serialized {ser:.1}s (saves {:.1}s)\n",
         ser - par
     );
-    let (with_ms, without_s) = ablation_forepart();
+    let (with_ms, without_s) = ablation_forepart()?;
     out += &format!(
         "forepart store (§4.8): first byte {with_ms:.1} ms with forepart vs {without_s:.1} s without\n"
     );
-    out
+    Ok(out)
 }
 
 fn bar(value: f64, max: f64, width: usize) -> String {
@@ -292,23 +307,23 @@ fn bar(value: f64, max: f64, width: usize) -> String {
 }
 
 /// Renders everything.
-pub fn render_all() -> String {
-    [
-        render_table1(),
+pub fn render_all() -> Result<String, BenchError> {
+    Ok([
+        render_table1()?,
         render_table2(),
-        render_table3(),
+        render_table3()?,
         render_fig6(),
-        render_fig7(),
+        render_fig7()?,
         render_fig8(),
         render_fig9(),
         render_fig10(),
-        render_tco(),
+        render_tco()?,
         render_power(),
-        render_mvrec(),
-        render_capacity(),
-        render_ablations(),
+        render_mvrec()?,
+        render_capacity()?,
+        render_ablations()?,
     ]
-    .join("")
+    .join(""))
 }
 
 /// Renders the throughput of a bandwidth value (helper for binaries).
@@ -317,8 +332,8 @@ pub fn fmt_bw(b: Bandwidth) -> String {
 }
 
 /// Machine-readable JSON of every experiment (for CI dashboards).
-pub fn render_json() -> String {
-    let t1: Vec<serde_json::Value> = table1()
+pub fn render_json() -> Result<String, BenchError> {
+    let t1: Vec<serde_json::Value> = table1()?
         .into_iter()
         .map(|r| {
             serde_json::json!({
@@ -340,7 +355,7 @@ pub fn render_json() -> String {
             })
         })
         .collect();
-    let t3: Vec<serde_json::Value> = table3()
+    let t3: Vec<serde_json::Value> = table3()?
         .into_iter()
         .map(|r| {
             serde_json::json!({
@@ -364,7 +379,7 @@ pub fn render_json() -> String {
             })
         })
         .collect();
-    let f7: Vec<serde_json::Value> = fig7()
+    let f7: Vec<serde_json::Value> = fig7()?
         .into_iter()
         .map(|o| {
             serde_json::json!({
@@ -393,9 +408,9 @@ pub fn render_json() -> String {
         })
         .collect();
     let (idle_w, peak_w) = power();
-    let (spread, crammed) = ablation_volumes();
-    let (par, ser) = ablation_parallel_scheduling();
-    let (fp_ms, no_fp_s) = ablation_forepart();
+    let (spread, crammed) = ablation_volumes()?;
+    let (par, ser) = ablation_parallel_scheduling()?;
+    let (fp_ms, no_fp_s) = ablation_forepart()?;
     let doc = serde_json::json!({
         "table1": t1,
         "table2": t2,
@@ -421,7 +436,7 @@ pub fn render_json() -> String {
         "tco": tco_rows,
         "power": { "idle_w": idle_w, "peak_w": peak_w,
                    "paper": { "idle_w": 185.0, "peak_w": 652.0 } },
-        "mv_recovery_min": mv_recovery_default().as_secs_f64() / 60.0,
+        "mv_recovery_min": mv_recovery_default()?.as_secs_f64() / 60.0,
         "ablations": {
             "volumes_spread_mbps": spread,
             "volumes_crammed_mbps": crammed,
@@ -431,5 +446,8 @@ pub fn render_json() -> String {
             "no_forepart_first_byte_s": no_fp_s,
         },
     });
-    serde_json::to_string_pretty(&doc).expect("json renders")
+    serde_json::to_string_pretty(&doc).map_err(|e| BenchError {
+        context: "render_json",
+        detail: e.to_string(),
+    })
 }

@@ -15,7 +15,8 @@ pub fn hdd_seq_write() -> Bandwidth {
     Bandwidth::from_mb_per_sec(167.0)
 }
 
-/// HDD average random-access (seek + rotational) latency.
+/// HDD average random-access (seek + rotational) latency. Not quoted
+/// in the paper; typical for the §5.1 prototype's 7200 RPM disks.
 pub fn hdd_random_latency() -> SimDuration {
     SimDuration::from_millis(8)
 }
@@ -23,17 +24,20 @@ pub fn hdd_random_latency() -> SimDuration {
 /// HDD capacity in the prototype (fourteen 4 TB disks, §5.1).
 pub const HDD_CAPACITY: u64 = 4_000_000_000_000;
 
-/// SSD sequential read throughput (SATA-class, 2016-era).
+/// SSD sequential read throughput. The paper does not quote SSD specs;
+/// this is a SATA-class 2016-era drive matching the §5.1 hardware.
 pub fn ssd_seq_read() -> Bandwidth {
     Bandwidth::from_mb_per_sec(520.0)
 }
 
-/// SSD sequential write throughput.
+/// SSD sequential write throughput (same SATA-class estimate for the
+/// §5.1 hardware as [`ssd_seq_read`]).
 pub fn ssd_seq_write() -> Bandwidth {
     Bandwidth::from_mb_per_sec(470.0)
 }
 
-/// SSD random-access latency.
+/// SSD random-access latency (same SATA-class estimate for the §5.1
+/// hardware as [`ssd_seq_read`]).
 pub fn ssd_random_latency() -> SimDuration {
     SimDuration::from_micros(100)
 }
@@ -49,7 +53,8 @@ pub const SSD_CAPACITY: u64 = 240_000_000_000;
 pub const STREAM_INTERFERENCE_FACTOR: f64 = 0.82;
 
 /// RAID-5/6 degraded-mode throughput factor while a member is failed
-/// (every read must reconstruct from the surviving members).
+/// (every read must reconstruct from the surviving members). Not
+/// measured in the paper; a standard estimate behind the §4.7 arrays.
 pub const DEGRADED_FACTOR: f64 = 0.55;
 
 #[cfg(test)]

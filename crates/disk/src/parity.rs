@@ -16,8 +16,8 @@ const POLY: u16 = 0x11D;
 
 /// Multiplies two elements of GF(2^8) (carry-less, reduced by `POLY`).
 pub fn gf_mul(a: u8, b: u8) -> u8 {
-    let mut a = a as u16;
-    let mut b = b as u16;
+    let mut a = u16::from(a);
+    let mut b = u16::from(b);
     let mut acc: u16 = 0;
     while b != 0 {
         if b & 1 != 0 {
@@ -29,6 +29,7 @@ pub fn gf_mul(a: u8, b: u8) -> u8 {
         }
         b >>= 1;
     }
+    // ros-analysis: allow(L3, acc stays below 0x100 because every XORed term is reduced by POLY)
     acc as u8
 }
 
@@ -138,36 +139,37 @@ pub fn reconstruct_p(
     p: Option<&[u8]>,
 ) -> Result<(Vec<Vec<u8>>, Vec<u8>), ParityError> {
     let lost_data: Vec<usize> = (0..data.len()).filter(|&i| data[i].is_none()).collect();
-    let lost = lost_data.len() + usize::from(p.is_none());
+    let lost = lost_data.len().saturating_add(usize::from(p.is_none()));
     if lost > 1 {
         return Err(ParityError::TooManyLost { lost, tolerated: 1 });
     }
-    let len = check_lengths(data.iter().flatten().copied().chain(p))?;
-    let mut out: Vec<Vec<u8>> = Vec::with_capacity(data.len());
-    if let Some(&missing) = lost_data.first() {
+    check_lengths(data.iter().flatten().copied().chain(p))?;
+    if !lost_data.is_empty() {
+        // A data stripe is lost, so P must be present (otherwise the count
+        // check above would have rejected two losses).
+        let Some(p) = p else {
+            return Err(ParityError::TooManyLost {
+                lost: 2,
+                tolerated: 1,
+            });
+        };
         // XOR of all present data stripes and P recovers the lost stripe.
-        let mut rec = p.expect("p present when a data stripe is lost").to_vec();
-        for (i, d) in data.iter().enumerate() {
-            if i != missing {
-                let d = d.expect("only one stripe may be missing");
-                for (r, &b) in rec.iter_mut().zip(d.iter()) {
-                    *r ^= b;
-                }
+        let mut rec = p.to_vec();
+        for d in data.iter().flatten() {
+            for (r, &b) in rec.iter_mut().zip(d.iter()) {
+                *r ^= b;
             }
         }
-        for (i, d) in data.iter().enumerate() {
-            if i == missing {
-                out.push(rec.clone());
-            } else {
-                out.push(d.expect("present").to_vec());
-            }
-        }
-        let p = p.expect("present").to_vec();
-        Ok((out, p))
+        let out = data
+            .iter()
+            .map(|d| match d {
+                Some(d) => d.to_vec(),
+                None => rec.clone(),
+            })
+            .collect();
+        Ok((out, p.to_vec()))
     } else {
-        for d in data {
-            out.push(d.expect("present").to_vec());
-        }
+        let out: Vec<Vec<u8>> = data.iter().flatten().map(|d| d.to_vec()).collect();
         let p = match p {
             Some(p) => p.to_vec(),
             None => {
@@ -175,7 +177,6 @@ pub fn reconstruct_p(
                 parity_p(&refs)?
             }
         };
-        let _ = len;
         Ok((out, p))
     }
 }
@@ -191,7 +192,10 @@ pub fn reconstruct_pq(
     q: Option<&[u8]>,
 ) -> Result<(Vec<Vec<u8>>, Vec<u8>, Vec<u8>), ParityError> {
     let lost_data: Vec<usize> = (0..data.len()).filter(|&i| data[i].is_none()).collect();
-    let lost = lost_data.len() + usize::from(p.is_none()) + usize::from(q.is_none());
+    let lost = lost_data
+        .len()
+        .saturating_add(usize::from(p.is_none()))
+        .saturating_add(usize::from(q.is_none()));
     if lost > 2 {
         return Err(ParityError::TooManyLost { lost, tolerated: 2 });
     }
@@ -204,24 +208,23 @@ pub fn reconstruct_pq(
         Ok((data, p, q))
     };
 
-    match (lost_data.len(), p.is_some(), q.is_some()) {
+    match (lost_data.len(), p, q) {
         // All data present: recompute whatever parity is missing.
-        (0, _, _) => finish(data.iter().map(|d| d.expect("present").to_vec()).collect()),
+        (0, _, _) => finish(data.iter().flatten().map(|d| d.to_vec()).collect()),
         // One data stripe lost, P present: plain XOR recovery.
-        (1, true, _) => {
+        (1, Some(_), _) => {
             let (d, _) = reconstruct_p(data, p)?;
             finish(d)
         }
         // One data stripe lost, P lost, Q present: recover via Q.
-        (1, false, true) => {
+        (1, None, Some(q)) => {
             let missing = lost_data[0];
-            let q = q.expect("q present");
             // Q = sum g^i D_i  =>  D_m = (Q ^ sum_{i!=m} g^i D_i) * g^-m.
             let mut acc = q.to_vec();
             for (i, d) in data.iter().enumerate() {
-                if i != missing {
+                if let Some(d) = d {
                     let g = gf_pow2(i);
-                    for (a, &b) in acc.iter_mut().zip(d.expect("present").iter()) {
+                    for (a, &b) in acc.iter_mut().zip(d.iter()) {
                         *a ^= gf_mul(g, b);
                     }
                 }
@@ -230,27 +233,23 @@ pub fn reconstruct_pq(
             for a in acc.iter_mut() {
                 *a = gf_mul(ginv, *a);
             }
-            let mut full: Vec<Vec<u8>> = Vec::with_capacity(data.len());
-            for (i, d) in data.iter().enumerate() {
-                if i == missing {
-                    full.push(acc.clone());
-                } else {
-                    full.push(d.expect("present").to_vec());
-                }
-            }
+            let full = data
+                .iter()
+                .map(|d| match d {
+                    Some(d) => d.to_vec(),
+                    None => acc.clone(),
+                })
+                .collect();
             finish(full)
         }
         // Two data stripes lost: solve the 2x2 system with P and Q.
-        (2, true, true) => {
+        (2, Some(p), Some(q)) => {
             let (x, y) = (lost_data[0], lost_data[1]);
-            let p = p.expect("p present");
-            let q = q.expect("q present");
             // Pxy = P ^ sum_{i!=x,y} D_i ; Qxy = Q ^ sum_{i!=x,y} g^i D_i.
             let mut pxy = p.to_vec();
             let mut qxy = q.to_vec();
             for (i, d) in data.iter().enumerate() {
-                if i != x && i != y {
-                    let d = d.expect("present");
+                if let Some(d) = d {
                     let g = gf_pow2(i);
                     for ((pv, qv), &b) in pxy.iter_mut().zip(qxy.iter_mut()).zip(d.iter()) {
                         *pv ^= b;
@@ -270,16 +269,15 @@ pub fn reconstruct_pq(
                 dx[i] = gf_mul(denom_inv, num);
                 dy[i] = pxy[i] ^ dx[i];
             }
-            let mut full: Vec<Vec<u8>> = Vec::with_capacity(data.len());
-            for (i, d) in data.iter().enumerate() {
-                if i == x {
-                    full.push(dx.clone());
-                } else if i == y {
-                    full.push(dy.clone());
-                } else {
-                    full.push(d.expect("present").to_vec());
-                }
-            }
+            let full = data
+                .iter()
+                .enumerate()
+                .map(|(i, d)| match d {
+                    Some(d) => d.to_vec(),
+                    None if i == x => dx.clone(),
+                    None => dy.clone(),
+                })
+                .collect();
             finish(full)
         }
         // Two losses but a needed parity is also gone: impossible cases
@@ -290,9 +288,46 @@ pub fn reconstruct_pq(
     }
 }
 
+/// Verifies that `p` (and, if supplied, `q`) is the parity of `data`.
+///
+/// This is the data-integrity invariant behind the paper's §4.7 disc-array
+/// reliability claims: a parity group is only as good as the parity
+/// actually stored. Returns `Ok(true)` when the parity matches,
+/// `Ok(false)` on a mismatch, and an error if the stripes are malformed.
+pub fn verify_group(data: &[&[u8]], p: &[u8], q: Option<&[u8]>) -> Result<bool, ParityError> {
+    if parity_p(data)? != p {
+        return Ok(false);
+    }
+    if let Some(q) = q {
+        if parity_q(data)? != q {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Debug-build hook: asserts the parity group is self-consistent after a
+/// stripe write. Compiled out of release builds, so the hot write path
+/// pays nothing in production.
+#[cfg(debug_assertions)]
+pub fn debug_assert_group(data: &[&[u8]], p: &[u8], q: Option<&[u8]>) {
+    debug_assert!(
+        verify_group(data, p, q).unwrap_or(false),
+        "parity group failed XOR/GF self-verification after stripe write \
+         ({} data stripes, q = {})",
+        data.len(),
+        q.is_some(),
+    );
+}
+
+/// Release builds: the self-check disappears entirely.
+#[cfg(not(debug_assertions))]
+pub fn debug_assert_group(_data: &[&[u8]], _p: &[u8], _q: Option<&[u8]>) {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn stripes() -> Vec<Vec<u8>> {
         (0..5u8)
@@ -446,6 +481,52 @@ mod tests {
         assert_eq!(rec, d);
         assert_eq!(p, parity_p(&refs(&d)).unwrap());
         assert_eq!(q, parity_q(&refs(&d)).unwrap());
+    }
+
+    #[test]
+    fn verify_group_accepts_true_parity_and_rejects_lies() {
+        let d = stripes();
+        let p = parity_p(&refs(&d)).unwrap();
+        let q = parity_q(&refs(&d)).unwrap();
+        assert_eq!(verify_group(&refs(&d), &p, Some(&q)), Ok(true));
+        assert_eq!(verify_group(&refs(&d), &p, None), Ok(true));
+        let mut bad_p = p.clone();
+        bad_p[3] ^= 0x40;
+        assert_eq!(verify_group(&refs(&d), &bad_p, Some(&q)), Ok(false));
+        let mut bad_q = q.clone();
+        bad_q[0] ^= 0x01;
+        assert_eq!(verify_group(&refs(&d), &p, Some(&bad_q)), Ok(false));
+        assert_eq!(verify_group(&[], &p, None).unwrap_err(), ParityError::Empty);
+    }
+
+    proptest! {
+        // Property: the self-check accepts any honestly computed parity
+        // group and rejects any single-bit corruption of either parity.
+        #[test]
+        fn self_check_accepts_valid_and_rejects_corrupt(
+            seed in 0u64..1_000,
+            n_stripes in 2usize..8,
+            len in 1usize..64,
+            flip_bit in 0u8..8,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let data: Vec<Vec<u8>> = (0..n_stripes)
+                .map(|_| (0..len).map(|_| rng.gen::<u8>()).collect())
+                .collect();
+            let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+            let p = parity_p(&refs).unwrap();
+            let q = parity_q(&refs).unwrap();
+            prop_assert_eq!(verify_group(&refs, &p, Some(&q)), Ok(true));
+
+            let corrupt_at = rng.gen_range(0..len);
+            let mut bad_p = p.clone();
+            bad_p[corrupt_at] ^= 1 << flip_bit;
+            prop_assert_eq!(verify_group(&refs, &bad_p, Some(&q)), Ok(false));
+            let mut bad_q = q.clone();
+            bad_q[corrupt_at] ^= 1 << flip_bit;
+            prop_assert_eq!(verify_group(&refs, &p, Some(&bad_q)), Ok(false));
+        }
     }
 
     #[test]

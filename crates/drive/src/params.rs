@@ -2,13 +2,16 @@
 
 use ros_sim::{Bandwidth, SimDuration};
 
-/// Logical sector size of Blu-ray media, in bytes.
+/// Logical sector size of Blu-ray media, in bytes (BD spec constant;
+/// the 2 KB sectors behind §2.1's format discussion).
 pub const SECTOR_BYTES: u64 = 2_048;
 
-/// Formatted capacity of a single-layer 25 GB BD-R.
+/// Formatted capacity of a single-layer 25 GB BD-R (media spec; the
+/// "25GB" discs of §5.1 and Table 2).
 pub const BD25_BYTES: u64 = 25_025_314_816;
 
-/// Formatted capacity of a triple-layer 100 GB BDXL.
+/// Formatted capacity of a triple-layer 100 GB BDXL (media spec; the
+/// "100GB" discs of §5.1 and Table 2).
 pub const BD100_BYTES: u64 = 100_103_356_416;
 
 /// Single-drive sequential read speed for 25 GB discs
@@ -78,12 +81,14 @@ pub fn seek_time() -> SimDuration {
     SimDuration::from_millis(100)
 }
 
-/// Drive tray open or close time (part of the disc exchange cycle).
+/// Drive tray open or close time (part of the disc exchange cycle
+/// inside §5.4's 51 s disc-to-drive loading; not itemised in the paper).
 pub fn tray_cycle() -> SimDuration {
     SimDuration::from_millis(1_500)
 }
 
-/// Idle time after which a drive spins down to sleep.
+/// Idle time after which a drive spins down to sleep (not quoted in
+/// the paper; drives idle between §5.4's batched read bursts).
 pub fn sleep_after_idle() -> SimDuration {
     SimDuration::from_secs(120)
 }
@@ -102,10 +107,12 @@ pub const TRACK_METADATA_BYTES: u64 = 64 * 1024 * 1024;
 /// Per-drive peak power draw (§5.1: "peak power 8W" for the BDR-S09XLB).
 pub const DRIVE_PEAK_WATTS: f64 = 8.0;
 
-/// Per-drive idle (spinning, not transferring) power draw.
+/// Per-drive idle (spinning, not transferring) power draw; scaled from
+/// §5.1's 8 W peak, which the paper quotes as the only drive figure.
 pub const DRIVE_IDLE_WATTS: f64 = 1.5;
 
-/// Per-drive sleep power draw.
+/// Per-drive sleep power draw; scaled from §5.1's 8 W peak, supporting
+/// §2.2's near-zero-power claim for idle racks.
 pub const DRIVE_SLEEP_WATTS: f64 = 0.2;
 
 /// Nominal archival-disc sector error rate (§4.7: "generally 10^-16").

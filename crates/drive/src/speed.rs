@@ -82,6 +82,7 @@ impl SpeedCurve {
                 start_x,
                 end_x,
                 exp,
+                // ros-analysis: allow(L3, f64 interpolation between bounded X-factor params)
             } => start_x + (end_x - start_x) * p.powf(exp),
             SpeedCurve::FailSafe { nominal_x, .. } => nominal_x,
             SpeedCurve::Constant { x } => x,
@@ -131,6 +132,7 @@ impl BurnPlan {
         check_mode: bool,
         rng: &mut SimRng,
     ) -> BurnPlan {
+        // ros-analysis: allow(L3, f64 product of clamped factors, both in [0, 1])
         let factor = factor.clamp(0.05, 1.0) * if check_mode { 0.52 } else { 1.0 };
         if bytes == 0 {
             return BurnPlan {
@@ -145,15 +147,18 @@ impl BurnPlan {
         let mut episode_bytes_left = 0.0f64;
         let episode_bytes = match curve {
             SpeedCurve::FailSafe { failsafe_x, .. } => {
+                // ros-analysis: allow(L3, f64 product of small calibration params; cannot overflow)
                 failsafe_x
+                    // ros-analysis: allow(L3, f64 product of small calibration params; cannot overflow)
                     * ros_sim::bandwidth::BLURAY_1X_BYTES_PER_SEC
+                    // ros-analysis: allow(L3, f64 product of small calibration params; cannot overflow)
                     * params::failsafe_episode().as_secs_f64()
             }
             _ => 0.0,
         };
         let mut elapsed = 0.0f64;
         let mut burned = 0.0f64;
-        let mut samples = Vec::with_capacity(PLAN_STEPS as usize + 1);
+        let mut samples = Vec::with_capacity((PLAN_STEPS as usize).saturating_add(1));
         while burned < bytes as f64 {
             let this_step = step_bytes.min(bytes as f64 - burned);
             let p = burned / bytes as f64;
@@ -165,6 +170,7 @@ impl BurnPlan {
                 } => {
                     if episode_bytes_left <= 0.0 {
                         let p_start = if episode_bytes > 0.0 {
+                            // ros-analysis: allow(L3, f64 ratio of per-step byte counts; episode_bytes > 0 checked above)
                             byte_share * this_step / episode_bytes
                         } else {
                             0.0
@@ -182,13 +188,17 @@ impl BurnPlan {
                 }
                 _ => curve.nominal_x(p),
             };
+            // ros-analysis: allow(L3, f64 product; x and factor are bounded calibration values)
             let speed = Bandwidth::from_bluray_x(x * factor);
             samples.push(BurnSample {
                 progress: p,
                 elapsed: SimDuration::from_secs_f64(elapsed),
+                // ros-analysis: allow(L3, f64 product; x and factor are bounded calibration values)
                 x: x * factor,
             });
+            // ros-analysis: allow(L3, f64 accumulator over at most PLAN_STEPS + 1 bounded increments)
             elapsed += this_step / speed.bytes_per_sec();
+            // ros-analysis: allow(L3, f64 accumulator over at most PLAN_STEPS + 1 bounded increments)
             burned += this_step;
         }
         let total = SimDuration::from_secs_f64(elapsed);
@@ -211,6 +221,7 @@ impl BurnPlan {
     pub fn to_series(&self, label: impl Into<String>, start: SimTime) -> ThroughputSeries {
         let mut s = ThroughputSeries::new(label);
         for sample in &self.samples {
+            // ros-analysis: allow(L3, SimTime + SimDuration delegates to the saturating Add impl)
             s.push(start + sample.elapsed, Bandwidth::from_bluray_x(sample.x));
         }
         s

@@ -44,7 +44,8 @@ pub fn tray_fan_in() -> SimDuration {
     SimDuration::from_millis(2_000)
 }
 
-/// Latching and fetching a 12-disc array off a fanned-out tray.
+/// Latching and fetching a 12-disc array off a fanned-out tray (part
+/// of §3.2's composite load cycle; not itemised in the paper).
 pub fn array_latch() -> SimDuration {
     SimDuration::from_millis(1_000)
 }

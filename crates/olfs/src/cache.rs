@@ -97,6 +97,7 @@ impl ReadCache {
             let victim = self.order.iter().position(|x| !self.pins.contains_key(x));
             match victim {
                 Some(pos) if self.order[pos] != id => {
+                    // ros-analysis: allow(L2, pos was found by scanning this deque and is in range)
                     let v = self.order.remove(pos).expect("position valid");
                     self.stats.evictions += 1;
                     evicted.push(v);

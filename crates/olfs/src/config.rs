@@ -173,24 +173,27 @@ impl RosConfig {
     }
 
     /// Validates internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), crate::error::OlfsError> {
+        let invalid = |m: String| crate::error::OlfsError::Invalid(m);
         if self.drive_bays == 0 || self.drives_per_bay == 0 {
-            return Err("at least one drive bay with one drive required".into());
-        }
-        if self.drives_per_bay != self.layout.discs_per_tray as usize {
-            return Err(format!(
-                "drives per bay ({}) must match discs per tray ({})",
-                self.drives_per_bay, self.layout.discs_per_tray
+            return Err(invalid(
+                "at least one drive bay with one drive required".into(),
             ));
         }
+        if self.drives_per_bay != self.layout.discs_per_tray as usize {
+            return Err(invalid(format!(
+                "drives per bay ({}) must match discs per tray ({})",
+                self.drives_per_bay, self.layout.discs_per_tray
+            )));
+        }
         if self.redundancy.parity_discs() >= self.array_size() {
-            return Err("parity discs must leave room for data".into());
+            return Err(invalid("parity discs must leave room for data".into()));
         }
         if self.open_buckets == 0 {
-            return Err("need at least one open bucket".into());
+            return Err(invalid("need at least one open bucket".into()));
         }
         if self.disc_class.capacity() == 0 {
-            return Err("disc capacity must be positive".into());
+            return Err(invalid("disc capacity must be positive".into()));
         }
         Ok(())
     }

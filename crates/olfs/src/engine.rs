@@ -190,6 +190,7 @@ impl Ros {
     ///
     /// Panics if the configuration fails [`RosConfig::validate`].
     pub fn new(cfg: RosConfig) -> Self {
+        // ros-analysis: allow(L2, documented constructor contract: see the # Panics section)
         cfg.validate().expect("invalid RosConfig");
         let mut vm = VolumeManager::new();
         let vol_mv = vm.add_volume("mv", RaidArray::prototype_metadata());
@@ -293,7 +294,7 @@ impl Ros {
             }
             match self.queue.peek_time() {
                 Some(t) if t <= deadline => {
-                    let ev = self.queue.pop().expect("peeked");
+                    let Some(ev) = self.queue.pop() else { break };
                     self.handle(ev.payload);
                 }
                 _ => break,
@@ -369,7 +370,10 @@ impl Ros {
         self.advance(d);
         let now = self.queue.now().as_nanos();
         let forepart = self.make_forepart(&data);
-        let idx = self.mv.get_mut(path).expect("just created");
+        let idx = self
+            .mv
+            .get_mut(path)
+            .ok_or_else(|| OlfsError::BadState("index entry vanished after create".into()))?;
         let version = idx.push_version_sized(
             LocTag::Bucket,
             data.len() as u64,
@@ -428,7 +432,9 @@ impl Ros {
                 });
             if let Some(stored) = stored {
                 let fits = {
-                    let b = self.wbm.bucket(bi).expect("located");
+                    let Some(b) = self.wbm.bucket(bi) else {
+                        return Err(OlfsError::BadState(format!("bucket {bi} vanished")));
+                    };
                     let growth = ros_udf::blocks_for(data.len() as u64)
                         .saturating_sub(ros_udf::blocks_for(latest.size))
                         * ros_udf::BLOCK_SIZE;
@@ -442,12 +448,14 @@ impl Ros {
                     let now = self.queue.now().as_nanos();
                     self.wbm
                         .bucket_mut(bi)
-                        .expect("located")
+                        .ok_or_else(|| OlfsError::BadState(format!("bucket {bi} vanished")))?
                         .update(&stored, data.clone(), now)?;
                     let d = trace.step("close", mv_write);
                     self.advance(d);
                     let forepart = self.make_forepart(&data);
-                    let idx = self.mv.get_mut(path).expect("exists");
+                    let idx = self.mv.get_mut(path).ok_or_else(|| {
+                        OlfsError::BadState("index entry vanished mid-update".into())
+                    })?;
                     let version = idx.push_version(
                         LocTag::Bucket,
                         data.len() as u64,
@@ -486,7 +494,10 @@ impl Ros {
         self.advance(d);
         let now = self.queue.now().as_nanos();
         let forepart = self.make_forepart(&data);
-        let idx = self.mv.get_mut(path).expect("exists");
+        let idx = self
+            .mv
+            .get_mut(path)
+            .ok_or_else(|| OlfsError::BadState("index entry vanished mid-update".into()))?;
         let version = idx.push_version_sized(
             LocTag::Bucket,
             data.len() as u64,
@@ -514,9 +525,11 @@ impl Ros {
     /// The shadow path regenerated version `ver` of `path` is stored
     /// under inside images.
     fn shadow_path(path: &UdfPath, ver: u32) -> UdfPath {
-        let parent = path.parent().expect("non-root");
-        let name = path.name().expect("non-root");
-        parent.join(&format!(".rosv{ver}-{name}"))
+        // Callers only pass file paths; a root path has no shadow.
+        match (path.parent(), path.name()) {
+            (Some(parent), Some(name)) => parent.join(&format!(".rosv{ver}-{name}")),
+            _ => path.clone(),
+        }
     }
 
     /// Remembers that `version` of `path` was an in-place update stored
@@ -564,11 +577,11 @@ impl Ros {
                     io += params::bucket_write_device()
                         + self.vm.write_time(self.vol_buffer, chunk.len() as u64)?;
                     let now = self.queue.now().as_nanos();
-                    let image = ImageId(self.wbm.bucket(bucket).expect("valid").image_id());
-                    self.wbm
-                        .bucket_mut(bucket)
-                        .expect("valid")
-                        .write(path, chunk, now)?;
+                    let b = self.wbm.bucket_mut(bucket).ok_or_else(|| {
+                        OlfsError::BadState(format!("placement chose missing bucket {bucket}"))
+                    })?;
+                    let image = ImageId(b.image_id());
+                    b.write(path, chunk, now)?;
                     if offset > 0 {
                         self.write_link_file(bucket, path, &segments, offset, total);
                     }
@@ -581,11 +594,11 @@ impl Ros {
                     io += params::bucket_write_device()
                         + self.vm.write_time(self.vol_buffer, prefix)?;
                     let now = self.queue.now().as_nanos();
-                    let image = ImageId(self.wbm.bucket(bucket).expect("valid").image_id());
-                    self.wbm
-                        .bucket_mut(bucket)
-                        .expect("valid")
-                        .write(path, chunk, now)?;
+                    let b = self.wbm.bucket_mut(bucket).ok_or_else(|| {
+                        OlfsError::BadState(format!("placement chose missing bucket {bucket}"))
+                    })?;
+                    let image = ImageId(b.image_id());
+                    b.write(path, chunk, now)?;
                     if offset > 0 {
                         self.write_link_file(bucket, path, &segments, offset, total);
                     }
@@ -596,9 +609,9 @@ impl Ros {
                 }
                 Placement::NoRoom => {
                     let fullest = (0..self.wbm.len())
-                        .max_by_key(|&i| self.wbm.bucket(i).expect("valid").used_bytes())
-                        .expect("at least one bucket");
-                    if self.wbm.bucket(fullest).expect("valid").is_empty() {
+                        .max_by_key(|&i| self.wbm.bucket(i).map(|b| b.used_bytes()).unwrap_or(0))
+                        .ok_or_else(|| OlfsError::BadState("no open buckets".into()))?;
+                    if self.wbm.bucket(fullest).is_none_or(|b| b.is_empty()) {
                         return Err(OlfsError::Invalid(format!(
                             "file unplaceable: {remaining} bytes left"
                         )));
@@ -628,10 +641,11 @@ impl Ros {
             offset,
             total_size: total,
         };
-        let link_path = path
-            .parent()
-            .expect("non-root")
-            .join(&link_file_name(path.name().expect("non-root")));
+        // Best effort (see below): root paths carry no link file.
+        let (Some(parent), Some(name)) = (path.parent(), path.name()) else {
+            return;
+        };
+        let link_path = parent.join(&link_file_name(name));
         let now = self.queue.now().as_nanos();
         // Best effort: if the link file doesn't fit, MV still stitches
         // the segments; only MV-less recovery loses the continuation.
@@ -682,9 +696,9 @@ impl Ros {
             return p.clone();
         };
         if let Some(rest) = name.strip_prefix(".rosv") {
-            if let Some(dash) = rest.find('-') {
+            if let (Some(dash), Some(parent)) = (rest.find('-'), p.parent()) {
                 let original = &rest[dash + 1..];
-                return p.parent().expect("non-root").join(original);
+                return parent.join(original);
             }
         }
         p.clone()
@@ -884,7 +898,7 @@ impl Ros {
             if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
                 continue;
             }
-            if self.mech.bay_contents(bay).expect("bay exists").is_none() {
+            if matches!(self.mech.bay_contents(bay), Ok(None)) {
                 self.reserved_bays.insert(bay);
                 return Some(bay);
             }
@@ -893,7 +907,7 @@ impl Ros {
             if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
                 continue;
             }
-            if self.mech.bay_contents(bay).expect("bay exists").is_some() {
+            if matches!(self.mech.bay_contents(bay), Ok(Some(_))) {
                 // Reserve across the unload so re-entrant event handling
                 // (another ParityDone firing during the mechanical wait)
                 // cannot steal the bay.
@@ -912,7 +926,9 @@ impl Ros {
     /// Unloads a bay's disc array back to its tray.
     pub(crate) fn unload_bay(&mut self, bay: usize) -> Result<SimDuration, OlfsError> {
         for i in 0..self.cfg.drives_per_bay {
-            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            let Some(drive) = self.bays[bay].drive_mut(i) else {
+                return Err(OlfsError::BadState(format!("no drive {i} in bay {bay}")));
+            };
             if drive.disc().is_some() {
                 let (disc, _) = drive.eject()?;
                 self.registry.put_back(disc)?;
@@ -939,7 +955,10 @@ impl Ros {
             .to_vec();
         for (i, disc_id) in tray.iter().enumerate() {
             let disc = self.registry.take(*disc_id)?;
-            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            let Some(drive) = self.bays[bay].drive_mut(i) else {
+                self.registry.put_back(disc)?;
+                return Err(OlfsError::BadState(format!("no drive {i} in bay {bay}")));
+            };
             drive.insert(disc)?;
             // Drives spin up while the arm finishes its cycle; the
             // residual is charged as post_load_spin_up by the fetch path.
@@ -968,7 +987,11 @@ impl Ros {
             g.state = GroupState::Burning;
             g.slot = Some(slot);
         }
-        let group = self.store.group(gid).expect("exists").clone();
+        let group = self
+            .store
+            .group(gid)
+            .ok_or_else(|| OlfsError::BadState(format!("no group {gid}")))?
+            .clone();
         let all_images: Vec<ImageId> = group
             .data
             .iter()
@@ -986,7 +1009,7 @@ impl Ros {
             if size > 0 {
                 self.bays[bay]
                     .drive_mut(i)
-                    .expect("drive exists")
+                    .ok_or_else(|| OlfsError::BadState(format!("no drive {i} in bay {bay}")))?
                     .begin_burn()?;
                 if append {
                     // Appending re-burn pays the metadata-zone formatting
@@ -1019,12 +1042,16 @@ impl Ros {
         if info.group != gid {
             return;
         }
-        let info = self.burning.remove(&bay).expect("checked");
+        let Some(info) = self.burning.remove(&bay) else {
+            return;
+        };
         let group = match self.store.group(gid) {
             Some(g) => g.clone(),
             None => return,
         };
-        let slot = group.slot.expect("burning group has a slot");
+        let Some(slot) = group.slot else {
+            return; // A crash handler already reset the group.
+        };
         let slot_index = self.cfg.layout.slot_index(slot);
         let tray: Vec<DiscId> = self
             .registry
@@ -1047,7 +1074,10 @@ impl Ros {
                 .and_then(|x| x.payload.clone())
                 .map(Payload::inline)
                 .unwrap_or_else(|| Payload::synthetic(0, 0));
-            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            let Some(drive) = self.bays[bay].drive_mut(i) else {
+                self.store.set_da_state(slot_index, DaState::Failed);
+                continue;
+            };
             let res = if info.append {
                 drive.finish_burn_track(img.0, payload)
             } else {
@@ -1314,7 +1344,7 @@ impl Ros {
     ) -> Result<(Bytes, SimDuration, ReadSource, SimDuration), OlfsError> {
         // 1. Still in an open bucket?
         if let Some(bi) = self.wbm.locate_image(image) {
-            let b = self.wbm.bucket(bi).expect("located");
+            let b = self.wbm.bucket(bi).ok_or(OlfsError::ImageLost(image))?;
             for p in stored_paths {
                 if let Ok(bytes) = b.tree().read(p) {
                     let io = params::bucket_read_device()
@@ -1336,7 +1366,7 @@ impl Ros {
                 .store
                 .get(image)
                 .and_then(|i| i.sealed.clone())
-                .expect("checked");
+                .ok_or(OlfsError::ImageLost(image))?;
             for p in stored_paths {
                 if let Ok(bytes) = sealed.read(p) {
                     let io = params::image_read_device()
@@ -1385,7 +1415,7 @@ impl Ros {
             .ok_or(OlfsError::ImageLost(image))?;
         let holding_bay = (0..self.bays.len()).find(|&b| {
             !self.burning.contains_key(&b)
-                && self.mech.bay_contents(b).expect("bay exists") == Some(loc.slot)
+                && self.mech.bay_contents(b).ok().flatten() == Some(loc.slot)
         });
 
         let (bay, mut extra, source) = match holding_bay {
@@ -1483,7 +1513,9 @@ impl Ros {
         let idle_since = self.drive_last_used.get(&(bay, pos)).copied();
         if let Some(t) = idle_since {
             if self.now().duration_since(t) > ros_drive::params::sleep_after_idle() {
-                self.bays[bay].drive_mut(pos).expect("drive exists").sleep();
+                if let Some(d) = self.bays[bay].drive_mut(pos) {
+                    d.sleep();
+                }
             }
         }
         self.drive_last_used.insert((bay, pos), self.now());
@@ -1496,7 +1528,7 @@ impl Ros {
         }
         let read = self.bays[bay]
             .drive_mut(pos)
-            .expect("drive exists")
+            .ok_or_else(|| OlfsError::BadState(format!("no drive {pos} in bay {bay}")))?
             .read_image(image.0);
         match read {
             Ok(timed) => {
@@ -1505,9 +1537,8 @@ impl Ros {
                 // the background (§4.1: the cache unit is a whole image).
                 let speed = self.bays[bay]
                     .drive(pos)
-                    .expect("drive exists")
-                    .read_speed()
-                    .unwrap_or(ros_drive::params::read_speed_bd25());
+                    .and_then(|d| d.read_speed().ok())
+                    .unwrap_or_else(ros_drive::params::read_speed_bd25);
                 let file_transfer = speed.time_for(file_bytes.min(timed.payload.len()));
                 let full_transfer = speed.time_for(timed.payload.len());
                 let overhead = timed.duration.saturating_sub(full_transfer);
@@ -1550,7 +1581,7 @@ impl Ros {
                 if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
                     continue;
                 }
-                if self.mech.bay_contents(bay).expect("bay exists").is_none() {
+                if matches!(self.mech.bay_contents(bay), Ok(None)) {
                     self.reserved_bays.insert(bay);
                     return Ok((bay, spent, classification));
                 }
@@ -1559,7 +1590,7 @@ impl Ros {
             let idle = (0..self.bays.len()).find(|b| {
                 !self.burning.contains_key(b)
                     && !self.reserved_bays.contains(b)
-                    && self.mech.bay_contents(*b).expect("bay exists").is_some()
+                    && matches!(self.mech.bay_contents(*b), Ok(Some(_)))
             });
             if let Some(bay) = idle {
                 self.reserved_bays.insert(bay);
@@ -1627,7 +1658,7 @@ impl Ros {
                 let img = imgs.get(i).copied().unwrap_or(ImageId(0));
                 self.bays[bay]
                     .drive_mut(i)
-                    .expect("drive exists")
+                    .ok_or_else(|| OlfsError::BadState(format!("no drive {i} in bay {bay}")))?
                     .interrupt_burn(img.0, 0)?;
             }
         }
@@ -1704,7 +1735,7 @@ impl Ros {
     pub fn flush(&mut self) -> Result<(), OlfsError> {
         let mut io = SimDuration::ZERO;
         for i in 0..self.wbm.len() {
-            if !self.wbm.bucket(i).expect("valid").is_empty() {
+            if self.wbm.bucket(i).is_some_and(|b| !b.is_empty()) {
                 io += self.seal_bucket(i)?;
             }
         }
@@ -1765,7 +1796,9 @@ impl Ros {
                 raw[i] = Some((p.to_vec(), Vec::new()));
                 continue;
             }
-            let drive = self.bays[bay].drive_mut(i).expect("drive exists");
+            let Some(drive) = self.bays[bay].drive_mut(i) else {
+                continue;
+            };
             let speed = drive
                 .read_speed()
                 .unwrap_or_else(|_| ros_drive::params::read_speed_bd25());
@@ -1932,10 +1965,9 @@ impl Ros {
                         .copied()
                         .collect();
                     let img = imgs.get(i).copied().unwrap_or(ImageId(0));
-                    let _ = self.bays[bay]
-                        .drive_mut(i)
-                        .expect("drive exists")
-                        .interrupt_burn(img.0, 0);
+                    if let Some(d) = self.bays[bay].drive_mut(i) {
+                        let _ = d.interrupt_burn(img.0, 0);
+                    }
                 }
             }
             if let Some(slot) = group.slot {

@@ -168,6 +168,7 @@ impl IndexFile {
 
     /// Serialises to the on-MV JSON form.
     pub fn to_json(&self) -> String {
+        // ros-analysis: allow(L2, serializing an owned tree of strings and integers cannot fail)
         serde_json::to_string(self).expect("index files always serialize")
     }
 

@@ -92,7 +92,7 @@ impl Ros {
     pub fn seal_open_buckets(&mut self) -> Result<usize, OlfsError> {
         let mut sealed = 0;
         for i in 0..self.wbm.len() {
-            if !self.wbm.bucket(i).expect("valid").is_empty() {
+            if self.wbm.bucket(i).is_some_and(|b| !b.is_empty()) {
                 let d = self.seal_bucket(i)?;
                 self.run_for(d);
                 sealed += 1;
@@ -131,7 +131,7 @@ impl Ros {
     pub fn unload_all_bays(&mut self) -> Result<usize, OlfsError> {
         let mut n = 0;
         for bay in 0..self.bays.len() {
-            if self.mech.bay_contents(bay).expect("bay exists").is_some() {
+            if matches!(self.mech.bay_contents(bay), Ok(Some(_))) {
                 self.unload_bay(bay)?;
                 n += 1;
             }
@@ -186,7 +186,7 @@ impl Ros {
             }
             // Bring the array home and retire its tray.
             for bay in 0..self.bays.len() {
-                if self.mech.bay_contents(bay).expect("bay exists") == group.slot {
+                if self.mech.bay_contents(bay).is_ok_and(|c| c == group.slot) {
                     self.unload_bay(bay)?;
                 }
             }
@@ -401,7 +401,9 @@ impl Ros {
 
         // 1 + 2: burned groups.
         for gid in self.store.groups_in_state(GroupState::Burned) {
-            let group = self.store.group(gid).expect("listed");
+            let Some(group) = self.store.group(gid) else {
+                continue;
+            };
             for img in group.data.iter().chain(group.parity.iter()) {
                 match self.store.location_of(*img) {
                     None => push(format!("burned image {img} missing from DILindex")),
@@ -454,7 +456,9 @@ impl Ros {
             .chain(self.store.groups_in_state(GroupState::ParityPending))
             .chain(self.store.groups_in_state(GroupState::ReadyToBurn))
         {
-            let group = self.store.group(gid).expect("listed");
+            let Some(group) = self.store.group(gid) else {
+                continue;
+            };
             for img in group.data.iter().chain(group.parity.iter()) {
                 let ok = self
                     .store

@@ -181,6 +181,7 @@ impl MetadataVolume {
 
     /// Serialises the whole MV (for periodic burning to discs, §4.2).
     pub fn snapshot(&self) -> String {
+        // ros-analysis: allow(L2, serializing an owned tree of strings and integers cannot fail)
         serde_json::to_string(self).expect("MV always serializes")
     }
 

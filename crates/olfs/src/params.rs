@@ -14,7 +14,8 @@ pub fn internal_op_overhead() -> SimDuration {
 }
 
 /// Device-side cost of inserting file data into an open bucket (loop
-/// device + UDF allocation), charged inside the "write" step.
+/// device + UDF allocation), charged inside the "write" step. Sized so
+/// Table 1's 2 ms disk-bucket write splits across insert and flush.
 pub fn bucket_write_device() -> SimDuration {
     SimDuration::from_micros(1_500)
 }

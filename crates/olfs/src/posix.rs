@@ -218,7 +218,11 @@ impl PosixFs {
         if !h.writable {
             return Err(OlfsError::BadState("fd not opened for writing".into()));
         }
-        let buf = h.buffer.as_mut().expect("writable handles buffer");
+        let Some(buf) = h.buffer.as_mut() else {
+            return Err(OlfsError::BadState(
+                "writable handle lost its buffer".into(),
+            ));
+        };
         let pos = h.cursor as usize;
         if buf.len() < pos {
             buf.resize(pos, 0);
@@ -280,9 +284,12 @@ impl PosixFs {
             .remove(&fd)
             .ok_or(OlfsError::BadState(format!("bad fd {fd:?}")))?;
         if h.writable && h.dirty {
-            let report = self
-                .ros
-                .write_file(&h.path, h.buffer.expect("writable handles buffer"))?;
+            let Some(buffer) = h.buffer else {
+                return Err(OlfsError::BadState(
+                    "writable handle lost its buffer".into(),
+                ));
+            };
+            let report = self.ros.write_file(&h.path, buffer)?;
             return Ok(Some(report.version));
         }
         Ok(None)

@@ -123,10 +123,13 @@ impl Ros {
         // regular occurrences: (path, image, len).
         let mut regulars: Vec<(UdfPath, ImageId, u64)> = Vec::new();
         for (path, image, bytes) in &scan.files {
-            let name = path.name().expect("scanned files are not root");
+            let Some(name) = path.name() else { continue };
             if let Some(orig_name) = parse_link_file_name(name) {
-                if let Some(link) = LinkFile::from_json(core::str::from_utf8(bytes).unwrap_or("")) {
-                    let orig = path.parent().expect("non-root").join(orig_name);
+                if let (Some(link), Some(parent)) = (
+                    LinkFile::from_json(core::str::from_utf8(bytes).unwrap_or("")),
+                    path.parent(),
+                ) {
+                    let orig = parent.join(orig_name);
                     continuations.insert(
                         (orig.to_string(), image.0),
                         Continuation {
@@ -138,8 +141,8 @@ impl Ros {
             }
             if let Some(rest) = name.strip_prefix(".rosv") {
                 if let Some(dash) = rest.find('-') {
-                    if let Ok(ver) = rest[..dash].parse::<u32>() {
-                        let orig = path.parent().expect("non-root").join(&rest[dash + 1..]);
+                    if let (Ok(ver), Some(parent)) = (rest[..dash].parse::<u32>(), path.parent()) {
+                        let orig = parent.join(&rest[dash + 1..]);
                         shadows.entry(orig.to_string()).or_default().push((
                             ver,
                             *image,
@@ -168,7 +171,9 @@ impl Ros {
         let mut mv = MetadataVolume::new();
         let mut files = 0usize;
         for (path_str, parts) in &base {
-            let path: UdfPath = path_str.parse().expect("scanned paths parse");
+            let path: UdfPath = path_str.parse().map_err(|_| {
+                OlfsError::BadState(format!("recovered path {path_str:?} failed to re-parse"))
+            })?;
             let mut parts = parts.clone();
             parts.sort_unstable();
             parts.dedup_by_key(|(_, img, _)| *img);
@@ -182,7 +187,9 @@ impl Ros {
                 let mut list = list.clone();
                 list.sort_unstable();
                 for (ver, image, size) in list {
-                    let idx = mv.get_mut(&path).expect("created above");
+                    let idx = mv.get_mut(&path).ok_or_else(|| {
+                        OlfsError::BadState(format!("MV entry for {path} vanished during rebuild"))
+                    })?;
                     // Keep version numbers aligned by filling gaps.
                     while idx.latest().map(|e| e.ver + 1).unwrap_or(1) < ver {
                         let prev = idx.latest().cloned();
@@ -199,7 +206,9 @@ impl Ros {
             if base.contains_key(orig) {
                 continue;
             }
-            let path: UdfPath = orig.parse().expect("scanned paths parse");
+            let path: UdfPath = orig.parse().map_err(|_| {
+                OlfsError::BadState(format!("recovered path {orig:?} failed to re-parse"))
+            })?;
             let idx = mv.create(&path)?;
             let mut list = list.clone();
             list.sort_unstable();
@@ -260,7 +269,9 @@ impl Ros {
                 result.discs_read += 1;
                 let mut drive_time = SimDuration::ZERO;
                 for image_id in image_ids {
-                    let drive = self.bays[bay].drive_mut(pos).expect("drive exists");
+                    let Some(drive) = self.bays[bay].drive_mut(pos) else {
+                        continue;
+                    };
                     let timed = match drive.read_image(image_id) {
                         Ok(t) => t,
                         Err(_) => continue, // Damaged track: skip in a scan.
@@ -298,7 +309,7 @@ impl Ros {
 
     fn free_any_bay(&mut self) -> Result<usize, OlfsError> {
         for bay in 0..self.bays.len() {
-            if self.mech.bay_contents(bay).expect("bay exists").is_none() {
+            if matches!(self.mech.bay_contents(bay), Ok(None)) {
                 return Ok(bay);
             }
         }

@@ -85,12 +85,19 @@ pub fn generate(schema: Redundancy, data_images: &[&[u8]]) -> Result<ParitySet, 
     }
     let padded: Vec<Vec<u8>> = data_images.iter().map(|d| pad_to(d, stripe_len)).collect();
     let refs: Vec<&[u8]> = padded.iter().map(|v| v.as_slice()).collect();
-    let p = Some(Bytes::from(parity::parity_p(&refs)?));
+    let p = Bytes::from(parity::parity_p(&refs)?);
     let q = match schema {
         Redundancy::Raid6 => Some(Bytes::from(parity::parity_q(&refs)?)),
         _ => None,
     };
-    Ok(ParitySet { p, q, stripe_len })
+    // Debug builds re-verify the freshly generated parity group before it
+    // is handed to the burn pipeline; compiled out in release.
+    parity::debug_assert_group(&refs, &p, q.as_deref());
+    Ok(ParitySet {
+        p: Some(p),
+        q,
+        stripe_len,
+    })
 }
 
 /// Reconstructs lost data images from the survivors plus parity.
@@ -114,7 +121,8 @@ pub fn reconstruct(
     if lost == 0 {
         return Ok(data
             .iter()
-            .map(|d| Bytes::copy_from_slice(d.expect("present")))
+            .flatten()
+            .map(|d| Bytes::copy_from_slice(d))
             .collect());
     }
     let stripe_len = p

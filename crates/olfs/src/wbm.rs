@@ -42,6 +42,7 @@ pub struct LinkFile {
 impl LinkFile {
     /// Serialises to the on-image JSON form.
     pub fn to_json(&self) -> String {
+        // ros-analysis: allow(L2, serializing an owned struct of plain fields cannot fail)
         serde_json::to_string(self).expect("link files always serialize")
     }
 
@@ -120,8 +121,45 @@ impl BucketManager {
         self.buckets.iter().position(|b| b.image_id() == image.0)
     }
 
+    /// Debug-build accounting invariant: every open bucket's used and
+    /// free byte counts partition its capacity, no bucket overruns it,
+    /// and no two open buckets stage the same image. Compiled out in
+    /// release builds.
+    #[cfg(debug_assertions)]
+    pub fn debug_assert_accounting(&self) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            debug_assert_eq!(
+                b.used_bytes() + b.free_bytes(),
+                b.capacity_bytes(),
+                "bucket {i} byte accounting does not partition its capacity"
+            );
+            debug_assert!(
+                b.used_bytes() <= b.capacity_bytes(),
+                "bucket {i} overran its capacity"
+            );
+            debug_assert_eq!(
+                b.capacity_bytes(),
+                self.capacity,
+                "bucket {i} capacity diverged from the pool capacity"
+            );
+        }
+        let mut ids: Vec<u64> = self.buckets.iter().map(Bucket::image_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        debug_assert_eq!(
+            ids.len(),
+            self.buckets.len(),
+            "two open buckets stage the same image"
+        );
+    }
+
+    /// Release-build no-op twin of [`Self::debug_assert_accounting`].
+    #[cfg(not(debug_assertions))]
+    pub fn debug_assert_accounting(&self) {}
+
     /// Plans the placement of a `size`-byte file at `path` (FCFS, §4.5).
     pub fn place(&self, path: &UdfPath, size: u64) -> Placement {
+        self.debug_assert_accounting();
         // First bucket that takes the file whole.
         for (i, b) in self.buckets.iter().enumerate() {
             if b.cost_of(path, size) <= b.free_bytes() {
@@ -146,7 +184,9 @@ impl BucketManager {
     /// returning the old bucket for sealing.
     pub fn rotate(&mut self, i: usize, new_id: ImageId) -> Bucket {
         let fresh = Bucket::new(new_id.0, self.capacity);
-        std::mem::replace(&mut self.buckets[i], fresh)
+        let old = std::mem::replace(&mut self.buckets[i], fresh);
+        self.debug_assert_accounting();
+        old
     }
 }
 

@@ -115,8 +115,27 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(HeapEntry { at, seq, payload });
+        self.debug_check_monotonic();
         EventId(seq)
     }
+
+    /// Debug-build invariant: the clock never sits past the earliest
+    /// pending event, so delivery time is monotonic through every pop.
+    /// Compiled out in release builds.
+    #[cfg(debug_assertions)]
+    fn debug_check_monotonic(&self) {
+        if let Some(front) = self.heap.peek() {
+            debug_assert!(
+                front.at >= self.now,
+                "event queue holds an event in the past: {:?} < {:?}",
+                front.at,
+                self.now
+            );
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_monotonic(&self) {}
 
     /// Schedules `payload` to fire `delay` after the current instant.
     pub fn schedule_in(&mut self, delay: SimDuration, payload: E) -> EventId {
@@ -150,6 +169,7 @@ impl<E> EventQueue<E> {
     /// Pops the earliest pending event, advancing the clock to it.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         self.skim_cancelled();
+        self.debug_check_monotonic();
         let entry = self.heap.pop()?;
         debug_assert!(entry.at >= self.now, "event queue time went backwards");
         self.now = entry.at;

@@ -231,7 +231,7 @@ impl TcoModel {
         .iter()
         .map(|s| self.analyze(s))
         .collect();
-        v.sort_by(|a, b| a.total().partial_cmp(&b.total()).expect("finite"));
+        v.sort_by(|a, b| a.total().total_cmp(&b.total()));
         v
     }
 }

@@ -260,10 +260,12 @@ impl<'a> Reader<'a> {
 }
 
 fn get_u32(b: &[u8], off: usize) -> u32 {
+    // ros-analysis: allow(L2, the four-byte slice always converts; slicing bounds-checks first)
     u32::from_le_bytes(b[off..off + 4].try_into().expect("4 bytes"))
 }
 
 fn get_u64(b: &[u8], off: usize) -> u64 {
+    // ros-analysis: allow(L2, the eight-byte slice always converts; slicing bounds-checks first)
     u64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
 }
 

@@ -294,7 +294,10 @@ impl FsTree {
         if path.is_root() {
             return Err(TreeError::InvalidPath(path.to_string()));
         }
-        let name = path.name().expect("non-root path has a name").to_string();
+        let name = path
+            .name()
+            .ok_or_else(|| TreeError::InvalidPath(path.to_string()))?
+            .to_string();
         let children = self.ensure_parent(path)?;
         match children.get(&name) {
             Some(FsNode::File { .. }) => Err(TreeError::AlreadyExists(path.to_string())),
@@ -364,7 +367,10 @@ impl FsTree {
         if path.is_root() {
             return Ok(());
         }
-        let name = path.name().expect("non-root").to_string();
+        let name = path
+            .name()
+            .ok_or_else(|| TreeError::InvalidPath(path.to_string()))?
+            .to_string();
         let children = self.ensure_parent(path)?;
         match children.get(&name) {
             Some(FsNode::File { .. }) => Err(TreeError::NotADirectory(path.to_string())),

@@ -93,10 +93,7 @@ impl Zipf {
     /// Samples an item index.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.unit_f64();
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.n - 1),
         }

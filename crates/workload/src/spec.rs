@@ -115,6 +115,7 @@ impl WorkloadSpec {
                     FileOp::Write {
                         path: format!("/archive/batch-{dir:04}/object-{i:08}")
                             .parse()
+                            // ros-analysis: allow(L2, the generated literal is a valid path)
                             .expect("static path parses"),
                         size: sizes.sample(&mut rng),
                     }
@@ -187,18 +188,21 @@ impl WorkloadSpec {
 fn stream_path(i: usize) -> UdfPath {
     format!("/stream/file-{i:08}")
         .parse()
+        // ros-analysis: allow(L2, the generated literal is a valid path)
         .expect("static path parses")
 }
 
 fn mixed_path(i: usize) -> UdfPath {
     format!("/mixed/g{:02}/file-{i:06}", i % 16)
         .parse()
+        // ros-analysis: allow(L2, the generated literal is a valid path)
         .expect("static path parses")
 }
 
 fn dataset_path(i: usize) -> UdfPath {
     format!("/dataset/part-{:04}/record-{i:08}", i % 64)
         .parse()
+        // ros-analysis: allow(L2, the generated literal is a valid path)
         .expect("static path parses")
 }
 

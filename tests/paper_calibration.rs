@@ -5,7 +5,7 @@
 
 #[test]
 fn table1_read_latency_matrix() {
-    let rows = ros_bench::table1();
+    let rows = ros_bench::table1().expect("table1 scenario");
     assert_eq!(rows.len(), 6);
     for row in &rows {
         if let Some(paper) = row.paper_secs {
@@ -43,7 +43,7 @@ fn table2_drive_read_speeds() {
 
 #[test]
 fn table3_mechanical_latency() {
-    for row in ros_bench::table3() {
+    for row in ros_bench::table3().expect("table3 scenario") {
         assert!((row.load - row.paper_load).abs() < 0.1, "{}", row.location);
         assert!(
             (row.unload - row.paper_unload).abs() < 0.1,
@@ -71,7 +71,7 @@ fn fig6_stack_throughput() {
 
 #[test]
 fn fig7_op_latencies() {
-    for op in ros_bench::fig7() {
+    for op in ros_bench::fig7().expect("fig7 scenario") {
         let rel = (op.measured_ms - op.paper_ms).abs() / op.paper_ms;
         assert!(
             rel < 0.08,
@@ -141,24 +141,27 @@ fn tco_and_power_claims() {
 
 #[test]
 fn mv_recovery_half_hour() {
-    let mins = ros_bench::mv_recovery_default().as_secs_f64() / 60.0;
+    let mins = ros_bench::mv_recovery_default()
+        .expect("mv recovery")
+        .as_secs_f64()
+        / 60.0;
     assert!((27.0..33.0).contains(&mins), "recovery = {mins:.1} min");
 }
 
 #[test]
 fn ablations_show_the_design_choices_pay() {
-    let (spread, crammed) = ros_bench::ablation_volumes();
+    let (spread, crammed) = ros_bench::ablation_volumes().expect("volumes ablation");
     assert!(spread > crammed * 1.5);
-    let (par, ser) = ros_bench::ablation_parallel_scheduling();
+    let (par, ser) = ros_bench::ablation_parallel_scheduling().expect("scheduling ablation");
     assert!((7.0..10.0).contains(&(ser - par)));
-    let (fp_ms, no_fp_s) = ros_bench::ablation_forepart();
+    let (fp_ms, no_fp_s) = ros_bench::ablation_forepart().expect("forepart ablation");
     assert!(fp_ms <= 2.1);
     assert!(no_fp_s > 60.0);
 }
 
 #[test]
 fn capacity_analysis_is_internally_consistent() {
-    let c = ros_bench::capacity();
+    let c = ros_bench::capacity().expect("capacity report");
     // The drain is the bottleneck for sustained ingest; the 10GbE
     // network and the disk tier comfortably outrun the burners.
     assert!(c.network_mbps > c.drain_bd25_mbps);

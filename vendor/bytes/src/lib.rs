@@ -1,0 +1,245 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset of the real crate's API that this workspace uses:
+//! [`Bytes`], a cheaply cloneable, sliceable, immutable byte buffer backed
+//! by an `Arc<[u8]>`. Built in-tree because the build environment has no
+//! network access to crates.io.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Bytes {
+        Bytes::from_vec(Vec::new())
+    }
+
+    /// Creates `Bytes` from a static slice without copying semantics
+    /// mattering (this stand-in copies; the contract is the same).
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes::from_vec(bytes.to_vec())
+    }
+
+    /// Copies the given slice into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from_vec(data.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end: len,
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view of `self` without copying the backing storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_ref_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the view out into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_ref_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes::from_vec(v)
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Bytes {
+        Bytes::from_static(s.as_bytes())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Bytes {
+        Bytes::from_vec(s.into_bytes())
+    }
+}
+
+impl FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Bytes {
+        Bytes::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref_slice() == other.as_ref_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_ref_slice() == other.as_slice()
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref_slice().cmp(other.as_ref_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_ref_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Serialize for Bytes {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.as_ref_slice()
+                .iter()
+                .map(|&b| serde::Value::from(b as u64))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(feature = "serde")]
+impl serde::Deserialize for Bytes {
+    fn deserialize_value(v: &serde::Value) -> Result<Bytes, serde::DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| serde::DeError::expected("byte array"))?;
+        let mut out = Vec::with_capacity(arr.len());
+        for item in arr {
+            let n = item
+                .as_u64()
+                .filter(|&n| n <= u8::MAX as u64)
+                .ok_or_else(|| serde::DeError::expected("byte value 0..=255"))?;
+            out.push(n as u8);
+        }
+        Ok(Bytes::from(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_views_share_storage() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let s2 = s.slice(..2);
+        assert_eq!(s2.as_ref(), &[2, 3]);
+    }
+
+    #[test]
+    fn equality_and_debug() {
+        let a = Bytes::from_static(b"abc");
+        let b = Bytes::copy_from_slice(b"abc");
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "b\"abc\"");
+    }
+}

@@ -1,0 +1,191 @@
+//! Random string generation from a regex subset.
+//!
+//! Supports what the workspace's string strategies use: literal
+//! characters, escaped metacharacters, character classes with ranges
+//! (`[a-z0-9_.-]`), and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+//! Unsupported syntax (alternation, groups, anchors) panics with a clear
+//! message rather than producing wrong samples.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One fixed character.
+    Literal(char),
+    /// One character uniformly from a set.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // Range like a-z (a `-` that isn't last in the class).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let end = chars[i + 2];
+                        for code in (c as u32)..=(end as u32) {
+                            if let Some(ch) = char::from_u32(code) {
+                                set.push(ch);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        set.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
+                i += 1; // Consume ']'.
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                match c {
+                    'd' => Atom::Class(('0'..='9').collect()),
+                    'w' => {
+                        let mut set: Vec<char> = ('a'..='z').collect();
+                        set.extend('A'..='Z');
+                        set.extend('0'..='9');
+                        set.push('_');
+                        Atom::Class(set)
+                    }
+                    other => Atom::Literal(other),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!(
+                    "regex strategy {pattern:?}: groups/alternation/anchors are not \
+                     supported by the offline proptest stand-in"
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier?
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated {{}} in {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo: usize = lo.trim().parse().expect("bad {m,n} lower bound");
+                        let hi: usize = hi.trim().parse().expect("bad {m,n} upper bound");
+                        (lo, hi)
+                    } else {
+                        let n: usize = body.trim().parse().expect("bad {n} count");
+                        (n, n)
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Samples one string matching `pattern`.
+pub(crate) fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..piece.max + 1)
+        };
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => {
+                    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_ranges_and_quantifier() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = sample("[a-z][a-z0-9_.-]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            for c in cs {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        assert_eq!(sample("abc", &mut rng), "abc");
+        let s = sample("x\\d{3}", &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+    }
+}

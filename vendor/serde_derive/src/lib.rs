@@ -1,0 +1,642 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree
+//! serde stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment is
+//! offline). Supports the shapes this workspace actually uses:
+//!
+//! - structs with named fields, newtype structs, unit structs
+//! - enums with unit / newtype / tuple / struct variants
+//! - `#[serde(rename = "...")]` on fields and variants
+//! - `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]` on fields
+//! - `#[serde(tag = "...")]` (internal tagging) and
+//!   `#[serde(rename_all = "lowercase")]` on enums
+//!
+//! Generics are intentionally unsupported; the macro panics with a clear
+//! message if it meets them so the failure mode is obvious at build time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+impl SerdeAttrs {
+    fn merge(&mut self, other: SerdeAttrs) {
+        if other.rename.is_some() {
+            self.rename = other.rename;
+        }
+        if other.rename_all.is_some() {
+            self.rename_all = other.rename_all;
+        }
+        if other.tag.is_some() {
+            self.tag = other.tag;
+        }
+        self.default |= other.default;
+        if other.skip_serializing_if.is_some() {
+            self.skip_serializing_if = other.skip_serializing_if;
+        }
+    }
+}
+
+/// Parses the contents of one `#[serde(...)]` group.
+fn parse_serde_attr(tokens: Vec<TokenTree>) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    let mut i = 0;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut value: Option<String> = None;
+        if i + 2 < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i + 1] {
+                if p.as_char() == '=' {
+                    if let TokenTree::Literal(lit) = &tokens[i + 2] {
+                        value = Some(unquote(&lit.to_string()));
+                        i += 2;
+                    }
+                }
+            }
+        }
+        match key.as_str() {
+            "rename" => attrs.rename = value,
+            "rename_all" => attrs.rename_all = value,
+            "tag" => attrs.tag = value,
+            "default" => attrs.default = true,
+            "skip_serializing_if" => attrs.skip_serializing_if = value,
+            _ => {}
+        }
+        i += 1;
+    }
+    attrs
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Consumes leading `#[...]` attributes, returning merged serde attrs.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(id)) = inner.first() {
+                        if id.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                attrs.merge(parse_serde_attr(args.stream().into_iter().collect()));
+                            }
+                        }
+                    }
+                    *pos += 2;
+                    continue;
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skips visibility qualifiers (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        // Skip `: Type` up to the next top-level comma. Angle-bracket
+        // depth must be tracked so `BTreeMap<String, Value>` survives.
+        let mut angle: i32 = 0;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_input(input: TokenStream, trait_name: &str) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let container_attrs = take_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let kw = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): unexpected token {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive({trait_name}): expected type name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!(
+                "derive({trait_name}) on `{name}`: generic types are not supported \
+                 by the offline serde stand-in"
+            );
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut depth = 0i32;
+                let mut parts = 1usize;
+                let empty = inner.is_empty();
+                for t in &inner {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => parts += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                // Trailing comma on a 1-tuple still means newtype.
+                if let Some(TokenTree::Punct(p)) = inner.last() {
+                    if p.as_char() == ',' && parts == 2 {
+                        parts = 1;
+                    }
+                }
+                if empty {
+                    Shape::UnitStruct
+                } else if parts == 1 {
+                    Shape::NewtypeStruct
+                } else {
+                    panic!(
+                        "derive({trait_name}) on `{name}`: multi-field tuple structs \
+                         are not supported by the offline serde stand-in"
+                    );
+                }
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("derive({trait_name}): expected enum body, got {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+            let mut variants = Vec::new();
+            let mut vpos = 0;
+            while vpos < body_tokens.len() {
+                let vattrs = take_attrs(&body_tokens, &mut vpos);
+                let vname = match body_tokens.get(vpos) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => break,
+                };
+                vpos += 1;
+                let kind = match body_tokens.get(vpos) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        vpos += 1;
+                        VariantKind::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        vpos += 1;
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        let mut depth = 0i32;
+                        let mut parts = if inner.is_empty() { 0 } else { 1 };
+                        for t in &inner {
+                            if let TokenTree::Punct(p) = t {
+                                match p.as_char() {
+                                    '<' => depth += 1,
+                                    '>' => depth -= 1,
+                                    ',' if depth == 0 => parts += 1,
+                                    _ => {}
+                                }
+                            }
+                        }
+                        if let Some(TokenTree::Punct(p)) = inner.last() {
+                            if p.as_char() == ',' {
+                                parts -= 1;
+                            }
+                        }
+                        match parts {
+                            0 => VariantKind::Unit,
+                            1 => VariantKind::Newtype,
+                            n => VariantKind::Tuple(n),
+                        }
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip to the comma that ends this variant (covers `= disc`).
+                while vpos < body_tokens.len() {
+                    if let TokenTree::Punct(p) = &body_tokens[vpos] {
+                        if p.as_char() == ',' {
+                            vpos += 1;
+                            break;
+                        }
+                    }
+                    vpos += 1;
+                }
+                variants.push(Variant {
+                    name: vname,
+                    attrs: vattrs,
+                    kind,
+                });
+            }
+            Shape::Enum(variants)
+        }
+        other => panic!("derive({trait_name}): unsupported item kind `{other}`"),
+    };
+    Input {
+        name,
+        attrs: container_attrs,
+        shape,
+    }
+}
+
+/// JSON-facing name of a field or variant after rename rules.
+fn wire_name(raw: &str, attrs: &SerdeAttrs, rename_all: Option<&str>) -> String {
+    if let Some(r) = &attrs.rename {
+        return r.clone();
+    }
+    match rename_all {
+        Some("lowercase") => raw.to_lowercase(),
+        Some("UPPERCASE") => raw.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in raw.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => raw.to_string(),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code =
+                String::from("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let wire = wire_name(&f.name, &f.attrs, None);
+                let push = format!(
+                    "entries.push((\"{wire}\".to_string(), \
+                     ::serde::Serialize::serialize_value(&self.{})));",
+                    f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    code.push_str(&format!("if !{pred}(&self.{}) {{ {push} }}\n", f.name));
+                } else {
+                    code.push_str(&push);
+                    code.push('\n');
+                }
+            }
+            code.push_str("::serde::Value::Object(entries)");
+            code
+        }
+        Shape::NewtypeStruct => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let rename_all = input.attrs.rename_all.as_deref();
+            let tag = input.attrs.tag.as_deref();
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_name(&v.name, &v.attrs, rename_all);
+                let arm = match (&v.kind, tag) {
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{v} => ::serde::Value::String(\"{wire}\".to_string()),",
+                        v = v.name
+                    ),
+                    (VariantKind::Unit, Some(t)) => format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![(\"{t}\".to_string(), \
+                         ::serde::Value::String(\"{wire}\".to_string()))]),",
+                        v = v.name
+                    ),
+                    (VariantKind::Newtype, _) => format!(
+                        "{name}::{v}(x) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                         ::serde::Serialize::serialize_value(x))]),",
+                        v = v.name
+                    ),
+                    (VariantKind::Tuple(n), _) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\
+                             \"{wire}\".to_string(), ::serde::Value::Array(vec![{items}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    (VariantKind::Named(fields), tag) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(t) = tag {
+                            inner.push_str(&format!(
+                                "entries.push((\"{t}\".to_string(), \
+                                 ::serde::Value::String(\"{wire}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            let fwire = wire_name(&f.name, &f.attrs, None);
+                            let push = format!(
+                                "entries.push((\"{fwire}\".to_string(), \
+                                 ::serde::Serialize::serialize_value({})));",
+                                f.name
+                            );
+                            if let Some(pred) = &f.attrs.skip_serializing_if {
+                                inner.push_str(&format!("if !{pred}({}) {{ {push} }}\n", f.name));
+                            } else {
+                                inner.push_str(&push);
+                                inner.push('\n');
+                            }
+                        }
+                        let payload = if tag.is_some() {
+                            "::serde::Value::Object(entries)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                                 ::serde::Value::Object(entries))])"
+                            )
+                        };
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{ {inner} {payload} }},",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from(
+                "let _obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\"))?;\n",
+            );
+            let mut ctor = String::new();
+            for f in fields {
+                let wire = wire_name(&f.name, &f.attrs, None);
+                let missing = if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+                    "Default::default()".to_string()
+                } else {
+                    format!("return Err(::serde::DeError::missing_field(\"{wire}\"))")
+                };
+                ctor.push_str(&format!(
+                    "{fname}: match v.get(\"{wire}\") {{ \
+                     Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+                     None => {{ {missing} }} }},\n",
+                    fname = f.name
+                ));
+            }
+            code.push_str(&format!("Ok({name} {{\n{ctor}}})"));
+            code
+        }
+        Shape::NewtypeStruct => format!("Ok({name}(::serde::Deserialize::deserialize_value(v)?))"),
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let rename_all = input.attrs.rename_all.as_deref();
+            if let Some(tag) = input.attrs.tag.as_deref() {
+                // Internally tagged: {"<tag>": "<variant>", ...fields}.
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = wire_name(&v.name, &v.attrs, rename_all);
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            arms.push_str(&format!("\"{wire}\" => Ok({name}::{v}),\n", v = v.name))
+                        }
+                        VariantKind::Named(fields) => {
+                            let mut ctor = String::new();
+                            for f in fields {
+                                let fwire = wire_name(&f.name, &f.attrs, None);
+                                let missing =
+                                    if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+                                        "Default::default()".to_string()
+                                    } else {
+                                        format!(
+                                        "return Err(::serde::DeError::missing_field(\"{fwire}\"))"
+                                    )
+                                    };
+                                ctor.push_str(&format!(
+                                    "{fname}: match v.get(\"{fwire}\") {{ \
+                                     Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+                                     None => {{ {missing} }} }},\n",
+                                    fname = f.name
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "\"{wire}\" => Ok({name}::{v} {{\n{ctor}}}),\n",
+                                v = v.name
+                            ));
+                        }
+                        _ => panic!(
+                            "derive(Deserialize) on `{name}`: internally tagged enums \
+                             only support unit and struct variants"
+                        ),
+                    }
+                }
+                format!(
+                    "let tag = v.get(\"{tag}\").and_then(|t| t.as_str())\
+                     .ok_or_else(|| ::serde::DeError::missing_field(\"{tag}\"))?;\n\
+                     match tag {{\n{arms}\
+                     other => Err(::serde::DeError::custom(format!(\
+                     \"unknown variant `{{other}}`\"))),\n}}"
+                )
+            } else {
+                // Externally tagged: "Variant" or {"Variant": payload}.
+                let mut unit_arms = String::new();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let wire = wire_name(&v.name, &v.attrs, rename_all);
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{wire}\" => return Ok({name}::{v}),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantKind::Newtype => keyed_arms.push_str(&format!(
+                            "\"{wire}\" => return Ok({name}::{v}(\
+                             ::serde::Deserialize::deserialize_value(payload)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(\
+                                         arr.get({i}).ok_or_else(|| \
+                                         ::serde::DeError::expected(\"tuple element\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            keyed_arms.push_str(&format!(
+                                "\"{wire}\" => {{ let arr = payload.as_array()\
+                                 .ok_or_else(|| ::serde::DeError::expected(\"array\"))?;\n\
+                                 return Ok({name}::{v}({gets})); }}\n",
+                                v = v.name,
+                                gets = gets.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            let mut ctor = String::new();
+                            for f in fields {
+                                let fwire = wire_name(&f.name, &f.attrs, None);
+                                let missing =
+                                    if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+                                        "Default::default()".to_string()
+                                    } else {
+                                        format!(
+                                        "return Err(::serde::DeError::missing_field(\"{fwire}\"))"
+                                    )
+                                    };
+                                ctor.push_str(&format!(
+                                    "{fname}: match payload.get(\"{fwire}\") {{ \
+                                     Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+                                     None => {{ {missing} }} }},\n",
+                                    fname = f.name
+                                ));
+                            }
+                            keyed_arms.push_str(&format!(
+                                "\"{wire}\" => return Ok({name}::{v} {{\n{ctor}}}),\n",
+                                v = v.name
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "if let Some(s) = v.as_str() {{\n\
+                     match s {{\n{unit_arms}\
+                     _ => return Err(::serde::DeError::custom(format!(\
+                     \"unknown variant `{{s}}`\"))),\n}}\n}}\n\
+                     if let Some(obj) = v.as_object() {{\n\
+                     if let Some((key, payload)) = obj.first() {{\n\
+                     match key.as_str() {{\n{keyed_arms}\
+                     _ => {{}}\n}}\n}}\n}}\n\
+                     Err(::serde::DeError::expected(\"enum value\"))"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> Result<{name}, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// Derives `serde::Serialize` via the in-tree Value data model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input, "Serialize");
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` via the in-tree Value data model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input, "Deserialize");
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

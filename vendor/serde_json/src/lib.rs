@@ -1,0 +1,207 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes any `serde::Serialize` type (via the in-tree Value data
+//! model) to JSON text, and parses JSON text back. Object key order is
+//! preserved on both paths; `Value` equality is key-based, so round-trips
+//! compare equal regardless of ordering.
+
+pub use serde::Value;
+
+mod parse;
+
+pub use parse::Error;
+
+/// Serializes `value` to compact JSON text.
+///
+/// Infallible in this stand-in (the Value model has no failing states),
+/// but kept `Result` for API compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_json_string())
+}
+
+/// Serializes `value` to pretty-printed JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_json_string_pretty())
+}
+
+/// Serializes `value` to JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(to_string(value)?.into_bytes())
+}
+
+/// Serializes `value` straight to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Parses JSON text into any `serde::Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s)?;
+    T::deserialize_value(&value).map_err(Error::from_de)
+}
+
+/// Parses JSON bytes into any `serde::Deserialize` type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::msg("invalid UTF-8"))?;
+    from_str(s)
+}
+
+/// Decodes a [`Value`] tree into any `serde::Deserialize` type.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value).map_err(Error::from_de)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax, like `serde_json::json!`.
+///
+/// Implemented as a tt-muncher (same technique as the real crate) so
+/// values can be arbitrary expressions and nest arrays/objects freely.
+/// Object keys are sorted at construction, matching the real crate's
+/// default `BTreeMap`-backed map.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => { $crate::json_internal!($($json)+) };
+}
+
+/// Implementation detail of [`json!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // Arrays.
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+
+    // Objects.
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        object.sort_by(|a, b| a.0.cmp(&b.0));
+        $crate::Value::Object(object)
+    }};
+
+    // Scalars.
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ($other:expr) => { $crate::value_from(&$other) };
+
+    // @array: accumulate element expressions.
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // @object: munch key tokens, then the `: value` that follows.
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        $object.push((($($key)+).to_string(), $value));
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        $object.push((($($key)+).to_string(), $value));
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+}
+
+/// Converts any serializable expression into a [`Value`] (used by
+/// [`json!`]). Borrows so `json!` never moves out of its operands.
+pub fn value_from<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi".to_string()).unwrap(), "\"hi\"");
+        let n: u64 = from_str("42").unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "b": 1, "a": [1, 2, 3], "c": { "nested": true } });
+        assert_eq!(v["a"][1].as_u64(), Some(2));
+        assert_eq!(v["c"]["nested"].as_bool(), Some(true));
+        // Keys are sorted, matching the real serde_json's BTreeMap map.
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"a\":[1,2,3],\"b\":1,\"c\":{\"nested\":true}}"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{oops").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Value::String("a\"b\\c\nd".to_string());
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\"");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn object_equality_ignores_order() {
+        let a: Value = from_str("{\"x\":1,\"y\":2}").unwrap();
+        let b: Value = from_str("{\"y\":2,\"x\":1}").unwrap();
+        assert_eq!(a, b);
+    }
+}
