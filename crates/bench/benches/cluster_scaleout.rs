@@ -1,0 +1,25 @@
+//! Cluster scale-out: aggregate read throughput across federated racks
+//! must grow near-linearly, and a rack failure at replication 2 must
+//! lose nothing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let points = ros_bench::cluster_scaleout(&[1, 2, 4], 1600).expect("scaleout");
+    println!(
+        "{}",
+        ros_bench::render::render_cluster_smoke().expect("render")
+    );
+    let two = points[1].speedup;
+    let four = points[2].speedup;
+    assert!(two >= 1.8, "1 -> 2 racks speedup = {two:.2}x");
+    assert!(four >= 3.0, "1 -> 4 racks speedup = {four:.2}x");
+    let drill = ros_bench::cluster_failure_drill(4, 1600).expect("drill");
+    assert_eq!(drill.drill.files_lost, 0, "replication 2 loses nothing");
+    c.bench_function("cluster/scaleout_2rack_smoke", |b| {
+        b.iter(|| ros_bench::cluster_scaleout(&[2], 240).expect("smoke"))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

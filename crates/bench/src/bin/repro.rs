@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures from the models.
 //!
-//! Usage: `repro [table1|table2|table3|fig6|fig7|fig8|fig9|fig10|tco|power|mvrec|ablations|all]`
+//! Usage: `repro [table1|table2|table3|fig6|fig7|fig8|fig9|fig10|tco|power|mvrec|ablations|cluster|cluster-smoke|all]`
 
 use ros_bench::render;
 
@@ -20,12 +20,15 @@ fn main() {
         "mvrec" => render::render_mvrec(),
         "capacity" => render::render_capacity(),
         "ablations" => render::render_ablations(),
+        "cluster" => render::render_cluster(),
+        "cluster-smoke" => render::render_cluster_smoke(),
         "all" => render::render_all(),
         "--json" | "json" => render::render_json(),
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: table1 table2 table3 \
-                 fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations all json"
+                 fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations \
+                 cluster cluster-smoke all json"
             );
             std::process::exit(2);
         }

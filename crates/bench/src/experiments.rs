@@ -94,6 +94,7 @@ fn table1_config() -> RosConfig {
         write_and_check: false,
         scrub_interval: None,
         seed: 7,
+        rack_id: 0,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Text rendering of experiment results in the paper's layout.
 
+use crate::cluster::{cluster_failure_drill, cluster_scaleout};
 use crate::experiments::*;
 use ros_sim::Bandwidth;
 
@@ -301,6 +302,77 @@ pub fn render_ablations() -> Result<String, BenchError> {
     Ok(out)
 }
 
+/// Renders the cluster scale-out sweep and failure drill at the given
+/// scales (`rack_counts` for the sweep, `drill_racks` for the drill,
+/// `ops` mixed operations per point).
+pub fn render_cluster_at(
+    rack_counts: &[usize],
+    drill_racks: usize,
+    ops: usize,
+) -> Result<String, BenchError> {
+    let mut out = hr("Cluster scale-out: Fig. 7 op mix across federated racks");
+    out += &format!(
+        "{:<7} {:>12} {:>12} {:>12} {:>9}\n",
+        "racks", "read MB/s", "write MB/s", "read mean", "speedup"
+    );
+    let points = cluster_scaleout(rack_counts, ops)?;
+    for p in &points {
+        out += &format!(
+            "{:<7} {:>12.1} {:>12.1} {:>10.1}ms {:>8.2}x  {}\n",
+            p.racks,
+            p.read_mbps,
+            p.write_mbps,
+            p.read_mean_ms,
+            p.speedup,
+            bar(
+                p.speedup,
+                rack_counts.last().copied().unwrap_or(1) as f64,
+                24
+            )
+        );
+    }
+    out += "(replication 2: write MB/s counts both replicas' bytes)\n";
+
+    let d = cluster_failure_drill(drill_racks, ops)?;
+    out += &format!(
+        "\nrack-failure drill at {} racks, replication 2, {} files ingested:\n",
+        d.racks, d.files_written
+    );
+    out += &format!(
+        "  failed rack {}; namespace audited from guardian rack {} ({} files)\n",
+        d.drill.failed,
+        d.drill
+            .namespace_source
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "-".into()),
+        d.drill.namespace_files
+    );
+    out += &format!(
+        "  re-replicated {} groups ({} files, {:.1} MB moved), {} degraded\n",
+        d.drill.groups_relocated,
+        d.drill.files_recovered,
+        d.drill.bytes_moved as f64 / 1e6,
+        d.drill.groups_degraded
+    );
+    out += &format!(
+        "  recovery time {:.1} s, files lost: {}, files verified readable: {}\n",
+        d.drill.recovery_time.as_secs_f64(),
+        d.drill.files_lost,
+        d.drill.files_verified
+    );
+    Ok(out)
+}
+
+/// Renders the full cluster scenario (1/2/4/8 racks, drill at 4).
+pub fn render_cluster() -> Result<String, BenchError> {
+    render_cluster_at(&[1, 2, 4, 8], 4, 1600)
+}
+
+/// Renders a tiny-budget cluster smoke (1/2 racks, drill at 2) for CI.
+pub fn render_cluster_smoke() -> Result<String, BenchError> {
+    render_cluster_at(&[1, 2], 2, 240)
+}
+
 fn bar(value: f64, max: f64, width: usize) -> String {
     let n = ((value / max).clamp(0.0, 1.0) * width as f64) as usize;
     "#".repeat(n)
@@ -322,6 +394,7 @@ pub fn render_all() -> Result<String, BenchError> {
         render_mvrec()?,
         render_capacity()?,
         render_ablations()?,
+        render_cluster()?,
     ]
     .join(""))
 }
@@ -407,6 +480,19 @@ pub fn render_json() -> Result<String, BenchError> {
             })
         })
         .collect();
+    let scaleout: Vec<serde_json::Value> = cluster_scaleout(&[1, 2, 4], 1600)?
+        .into_iter()
+        .map(|p| {
+            serde_json::json!({
+                "racks": p.racks,
+                "read_mbps": p.read_mbps,
+                "write_mbps": p.write_mbps,
+                "read_mean_ms": p.read_mean_ms,
+                "speedup": p.speedup,
+            })
+        })
+        .collect();
+    let drill = cluster_failure_drill(4, 1600)?;
     let (idle_w, peak_w) = power();
     let (spread, crammed) = ablation_volumes()?;
     let (par, ser) = ablation_parallel_scheduling()?;
@@ -437,6 +523,20 @@ pub fn render_json() -> Result<String, BenchError> {
         "power": { "idle_w": idle_w, "peak_w": peak_w,
                    "paper": { "idle_w": 185.0, "peak_w": 652.0 } },
         "mv_recovery_min": mv_recovery_default()?.as_secs_f64() / 60.0,
+        "cluster": {
+            "scaleout": scaleout,
+            "drill": {
+                "racks": drill.racks,
+                "failed_rack": drill.drill.failed,
+                "files_written": drill.files_written,
+                "files_recovered": drill.drill.files_recovered,
+                "files_lost": drill.drill.files_lost,
+                "files_verified": drill.drill.files_verified,
+                "groups_relocated": drill.drill.groups_relocated,
+                "bytes_moved": drill.drill.bytes_moved,
+                "recovery_s": drill.drill.recovery_time.as_secs_f64(),
+            },
+        },
         "ablations": {
             "volumes_spread_mbps": spread,
             "volumes_crammed_mbps": crammed,

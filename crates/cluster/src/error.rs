@@ -1,0 +1,79 @@
+//! Typed errors for the cluster front end.
+
+use ros_olfs::OlfsError;
+
+/// Any error the cluster front end can surface to a caller.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// The cluster configuration is inconsistent.
+    Config(String),
+    /// The addressed rack does not exist.
+    UnknownRack(u32),
+    /// The addressed rack is marked failed.
+    RackDown(u32),
+    /// No alive rack has capacity for the placement.
+    NoCapacity {
+        /// Bytes the placement needed.
+        size: u64,
+        /// Replicas requested.
+        replication: usize,
+    },
+    /// The path is not tracked by any placement group.
+    NotFound(String),
+    /// Every replica of a file failed to serve a read.
+    AllReplicasFailed {
+        /// The file path.
+        path: String,
+        /// Racks tried, in placement order.
+        tried: Vec<u32>,
+    },
+    /// No guardian rack holds an MV snapshot for the given rack.
+    NoGuardianSnapshot(u32),
+    /// A member rack returned an error.
+    Rack {
+        /// The rack that failed.
+        rack: u32,
+        /// The underlying OLFS error.
+        source: OlfsError,
+    },
+    /// An internal invariant was violated.
+    Internal(String),
+}
+
+impl ClusterError {
+    /// Adapter for `map_err`: tags an OLFS error with its rack.
+    pub(crate) fn on(rack: u32) -> impl Fn(OlfsError) -> ClusterError + Copy {
+        move |source| ClusterError::Rack { rack, source }
+    }
+}
+
+impl core::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClusterError::Config(m) => write!(f, "config: {m}"),
+            ClusterError::UnknownRack(r) => write!(f, "unknown rack {r}"),
+            ClusterError::RackDown(r) => write!(f, "rack {r} is down"),
+            ClusterError::NoCapacity { size, replication } => {
+                write!(f, "no capacity for {size} bytes x{replication}")
+            }
+            ClusterError::NotFound(p) => write!(f, "not found: {p}"),
+            ClusterError::AllReplicasFailed { path, tried } => {
+                write!(f, "all replicas of {path} failed (tried racks {tried:?})")
+            }
+            ClusterError::NoGuardianSnapshot(r) => {
+                write!(f, "no guardian MV snapshot for rack {r}")
+            }
+            ClusterError::Rack { rack, source } => write!(f, "rack {rack}: {source}"),
+            ClusterError::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Rack { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Cross-rack MV snapshot replication (§4.2 carried across racks).
+//!
+//! Inside one rack, OLFS already protects the metadata volume by burning
+//! periodic snapshots to disc ([`ros_olfs::Ros::burn_mv_snapshot`]).
+//! That survives a server crash but not the loss of the whole rack. The
+//! cluster therefore also ships each rack's MV snapshot text to
+//! `mv_guardians` *other* racks — the guardians are chosen by rendezvous
+//! ranking on a per-rack key, and the copy travels through the guardian's
+//! ordinary write path, so it is itself buffered, packed and burned like
+//! any archive data.
+//!
+//! Recovery reads the newest guardian copy back and rebuilds a
+//! [`MetadataVolume`] from it; [`ros_olfs::Ros::adopt_namespace`] then
+//! installs it on a rack that lost its MV but kept its media.
+
+use crate::error::ClusterError;
+use crate::placement::{self, RackId};
+use crate::router::Cluster;
+use bytes::Bytes;
+use ros_olfs::mv::MetadataVolume;
+use ros_sim::SimDuration;
+use ros_udf::UdfPath;
+use serde::{Deserialize, Serialize};
+
+/// Directory on each guardian rack holding foreign MV snapshot copies.
+/// Lives outside user namespaces, like the rack-local `/.mv-snapshots`.
+pub const MV_REPLICA_DIR: &str = "/.mv-replicas";
+
+/// Outcome of one cluster-wide MV replication round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MvReplicationReport {
+    /// Sequence number of this round (monotonic per cluster).
+    pub seq: u64,
+    /// Racks whose namespace was snapshotted this round.
+    pub snapshots: usize,
+    /// Guardian copies written cluster-wide this round.
+    pub guardian_copies: usize,
+    /// MV snapshot parts burned locally (sum over racks), when local
+    /// burning was requested.
+    pub local_parts: usize,
+    /// Snapshot text bytes shipped cross-rack this round.
+    pub bytes_shipped: u64,
+    /// Cluster makespan of the round.
+    pub elapsed: SimDuration,
+}
+
+impl Cluster {
+    /// Runs one MV replication round: every alive rack snapshots its
+    /// namespace and ships the snapshot text to its guardian racks.
+    /// With `burn_local` set, each rack also burns the snapshot to its
+    /// own discs first (the single-rack §4.2 path).
+    ///
+    /// Guardians are the top `mv_guardians` alive racks by rendezvous
+    /// rank on the key `mv:<rack>`, excluding the owner. Only the newest
+    /// guardian copy is tracked for recovery.
+    pub fn replicate_mv_snapshots(
+        &mut self,
+        burn_local: bool,
+    ) -> Result<MvReplicationReport, ClusterError> {
+        let start = self.now();
+        self.mv_seq = self.mv_seq.wrapping_add(1);
+        let seq = self.mv_seq;
+        let alive: Vec<RackId> = self
+            .racks
+            .iter()
+            .filter(|r| r.is_alive())
+            .map(|r| r.id())
+            .collect();
+        let mut snapshots = 0;
+        let mut guardian_copies = 0;
+        let mut local_parts = 0;
+        let mut bytes_shipped = 0u64;
+        for owner in &alive {
+            let idx = self.rack_index(owner.0)?;
+            if burn_local {
+                let (_seq, parts) = self.racks[idx]
+                    .ros_mut()
+                    .burn_mv_snapshot()
+                    .map_err(ClusterError::on(owner.0))?;
+                local_parts += parts;
+            }
+            let text = self.racks[idx].ros().export_namespace();
+            snapshots += 1;
+            let guardians: Vec<RackId> = placement::rank(&format!("mv:{}", owner.0), &alive)
+                .into_iter()
+                .filter(|g| g != owner)
+                .take(self.cfg.mv_guardians)
+                .collect();
+            if guardians.is_empty() {
+                continue;
+            }
+            let payload = Bytes::from(text.into_bytes());
+            let path_str = format!("{MV_REPLICA_DIR}/rack-{:03}/seq-{seq:06}", owner.0);
+            let path: UdfPath = path_str.parse().map_err(|_| {
+                ClusterError::Internal(format!("generated MV replica path invalid: {path_str}"))
+            })?;
+            let mut placed = Vec::new();
+            for g in guardians {
+                let gidx = self.rack_index(g.0)?;
+                let rack = &mut self.racks[gidx];
+                rack.ros_mut()
+                    .write_file(&path, payload.clone())
+                    .map_err(ClusterError::on(g.0))?;
+                rack.note_stored(payload.len() as u64);
+                bytes_shipped = bytes_shipped.saturating_add(payload.len() as u64);
+                guardian_copies += 1;
+                placed.push((g, path_str.clone()));
+            }
+            self.mv_guardian_paths.insert(owner.0, placed);
+        }
+        Ok(MvReplicationReport {
+            seq,
+            snapshots,
+            guardian_copies,
+            local_parts,
+            bytes_shipped,
+            elapsed: self.elapsed_since(start),
+        })
+    }
+
+    /// Recovers rack `owner`'s namespace from the newest guardian copy.
+    /// Returns the rebuilt volume and the guardian that served it.
+    ///
+    /// Works whether or not `owner` is alive — this is the read path the
+    /// failure drill uses to audit what a dead rack held.
+    pub fn recover_namespace(
+        &mut self,
+        owner: u32,
+    ) -> Result<(MetadataVolume, RackId), ClusterError> {
+        self.rack_index(owner)?;
+        let entries = self
+            .mv_guardian_paths
+            .get(&owner)
+            .cloned()
+            .ok_or(ClusterError::NoGuardianSnapshot(owner))?;
+        for (guardian, path_str) in entries {
+            let gidx = self.rack_index(guardian.0)?;
+            if !self.racks[gidx].is_alive() {
+                continue;
+            }
+            let path: UdfPath = match path_str.parse() {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let report = match self.racks[gidx].ros_mut().read_file(&path) {
+                Ok(r) => r,
+                Err(_) => continue,
+            };
+            let text = String::from_utf8_lossy(&report.data);
+            let mv = MetadataVolume::restore(&text).map_err(ClusterError::on(guardian.0))?;
+            return Ok((mv, guardian));
+        }
+        Err(ClusterError::NoGuardianSnapshot(owner))
+    }
+
+    /// Recovers rack `rack` from MV loss (server metadata gone, rack and
+    /// media intact): reads the guardian snapshot and adopts it as the
+    /// rack's namespace. Returns the restored file count and the cluster
+    /// time the recovery took.
+    pub fn recover_mv_via_guardian(
+        &mut self,
+        rack: u32,
+    ) -> Result<(usize, SimDuration), ClusterError> {
+        let idx = self.rack_index(rack)?;
+        if !self.racks[idx].is_alive() {
+            return Err(ClusterError::RackDown(rack));
+        }
+        let start = self.now();
+        let (mv, _guardian) = self.recover_namespace(rack)?;
+        let files = mv.file_count();
+        self.racks[idx].ros_mut().adopt_namespace(mv);
+        Ok((files, self.elapsed_since(start)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn p(s: &str) -> UdfPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn replication_round_ships_to_guardians() {
+        let mut c = Cluster::new(ClusterConfig::tiny(3)).unwrap();
+        c.write_file(&p("/a/f"), vec![1u8; 256]).unwrap();
+        let rep = c.replicate_mv_snapshots(false).unwrap();
+        assert_eq!(rep.seq, 1);
+        assert_eq!(rep.snapshots, 3);
+        // tiny() keeps one guardian per rack.
+        assert_eq!(rep.guardian_copies, 3);
+        assert!(rep.bytes_shipped > 0);
+        assert_eq!(rep.local_parts, 0, "no local burn requested");
+    }
+
+    #[test]
+    fn guardian_copy_rebuilds_the_namespace() {
+        let mut c = Cluster::new(ClusterConfig::tiny(3)).unwrap();
+        for i in 0..5 {
+            c.write_file(&p(&format!("/docs/f{i}")), vec![i as u8; 128])
+                .unwrap();
+        }
+        c.replicate_mv_snapshots(false).unwrap();
+        // Find a rack that holds some of /docs.
+        let owner = c.targets_of(&p("/docs/f0")).unwrap()[0];
+        let (mv, guardian) = c.recover_namespace(owner).unwrap();
+        assert_ne!(guardian.0, owner, "guardian must be another rack");
+        assert!(mv.file_count() >= 5, "namespace carries the files");
+    }
+
+    #[test]
+    fn mv_loss_recovery_adopts_and_serves_reads() {
+        let mut c = Cluster::new(ClusterConfig::tiny(2)).unwrap();
+        c.write_file(&p("/keep/f"), vec![9u8; 512]).unwrap();
+        c.replicate_mv_snapshots(true).unwrap();
+        let owner = c.targets_of(&p("/keep/f")).unwrap()[0];
+        // Simulate MV loss on the owner: blank its namespace, then
+        // recover from the guardian.
+        let blank = MetadataVolume::restore(&MetadataVolume::default().snapshot()).unwrap();
+        c.racks[owner as usize].ros_mut().adopt_namespace(blank);
+        let (files, elapsed) = c.recover_mv_via_guardian(owner).unwrap();
+        assert!(files >= 1);
+        let _ = elapsed;
+        let r = c.read_file(&p("/keep/f")).unwrap();
+        assert_eq!(r.data.as_ref(), &[9u8; 512][..]);
+    }
+
+    #[test]
+    fn missing_guardian_is_a_typed_error() {
+        let mut c = Cluster::new(ClusterConfig::tiny(2)).unwrap();
+        assert!(matches!(
+            c.recover_namespace(0).unwrap_err(),
+            ClusterError::NoGuardianSnapshot(0)
+        ));
+    }
+
+    #[test]
+    fn single_rack_cluster_has_no_guardians() {
+        let mut c = Cluster::new(ClusterConfig::tiny(1)).unwrap();
+        c.write_file(&p("/solo/f"), vec![0u8; 64]).unwrap();
+        let rep = c.replicate_mv_snapshots(false).unwrap();
+        assert_eq!(rep.guardian_copies, 0);
+    }
+}

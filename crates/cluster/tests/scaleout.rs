@@ -1,0 +1,97 @@
+//! End-to-end cluster checks: read throughput scales with rack count
+//! under the paper's Fig. 7-style mixed op workload, and a whole-rack
+//! failure at replication 2 loses nothing.
+
+use ros_cluster::{Cluster, ClusterConfig, ClusterReport};
+use ros_workload::spec::synth_data;
+use ros_workload::{FileOp, WorkloadSpec};
+
+fn mixed_spec() -> WorkloadSpec {
+    WorkloadSpec::MultiTenantMixed {
+        tenants: 24,
+        tenant_skew: 0.5,
+        ops: 1600,
+        read_ratio: 0.7,
+        sizes: ros_workload::dist::SizeDist::Fixed { bytes: 16 * 1024 },
+        fanout: 2,
+    }
+}
+
+/// Ingests the mix's writes, then measures the read phase in a fresh
+/// epoch. Returns the aggregate read throughput in MB/s.
+fn read_throughput(racks: usize) -> f64 {
+    let mut cluster = Cluster::new(ClusterConfig::tiny(racks)).unwrap();
+    let ops = mixed_spec().compile(42);
+    for op in &ops {
+        if let FileOp::Write { path, size } = op {
+            cluster.write_file(path, synth_data(path, *size)).unwrap();
+        }
+    }
+    cluster.begin_epoch();
+    for op in &ops {
+        match op {
+            FileOp::Read { path } => {
+                let report = cluster.read_file(path).unwrap();
+                let expect = synth_data(path, report.data.len() as u64);
+                assert_eq!(report.data.as_ref(), expect.as_slice(), "payload integrity");
+            }
+            FileOp::Stat { path } => {
+                cluster.stat(path).unwrap();
+            }
+            FileOp::Write { .. } => {}
+        }
+    }
+    let report = ClusterReport::collect(&cluster);
+    assert!(report.read_latency.count() > 0);
+    report.read_throughput().mb_per_sec()
+}
+
+#[test]
+fn read_throughput_scales_with_rack_count() {
+    let one = read_throughput(1);
+    let two = read_throughput(2);
+    let four = read_throughput(4);
+    assert!(
+        two / one >= 1.8,
+        "1 -> 2 racks must scale >= 1.8x, got {:.2}x ({one:.1} -> {two:.1} MB/s)",
+        two / one
+    );
+    assert!(
+        four / one >= 3.0,
+        "1 -> 4 racks must scale >= 3x, got {:.2}x ({one:.1} -> {four:.1} MB/s)",
+        four / one
+    );
+}
+
+#[test]
+fn rack_failure_drill_loses_nothing_at_replication_two() {
+    let mut cluster = Cluster::new(ClusterConfig::tiny(4)).unwrap();
+    assert_eq!(cluster.config().replication, 2);
+    let ops = mixed_spec().compile(7);
+    let mut written = 0usize;
+    for op in &ops {
+        if let FileOp::Write { path, size } = op {
+            cluster.write_file(path, synth_data(path, *size)).unwrap();
+            written += 1;
+        }
+    }
+    cluster.replicate_mv_snapshots(true).unwrap();
+    cluster.fail_rack(2).unwrap();
+    let drill = cluster.rereplicate_after_failure(2).unwrap();
+    assert_eq!(drill.files_lost, 0, "replication 2 must survive one rack");
+    assert_eq!(drill.files_verified, drill.files_recovered);
+    assert!(drill.namespace_source.is_some(), "guardian audit available");
+    assert!(drill.recovery_time.as_nanos() > 0);
+
+    // Every file the workload wrote still reads back correct.
+    let mut checked = 0usize;
+    for op in &ops {
+        if let FileOp::Write { path, .. } = op {
+            let report = cluster.read_file(path).unwrap();
+            let expect = synth_data(path, report.data.len() as u64);
+            assert_eq!(report.data.as_ref(), expect.as_slice());
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, written);
+}

@@ -102,6 +102,12 @@ pub struct RosConfig {
     pub scrub_interval: Option<ros_sim::SimDuration>,
     /// RNG seed for all stochastic behaviour.
     pub seed: u64,
+    /// Identity of this rack within a multi-rack deployment (§6 prices
+    /// whole racks as the unit of growth). Standalone racks use 0; a
+    /// cluster front end assigns each member a distinct id and the value
+    /// is surfaced through [`crate::maintenance::SystemStatus`] so
+    /// aggregated status reports stay attributable.
+    pub rack_id: u32,
 }
 
 impl RosConfig {
@@ -123,6 +129,7 @@ impl RosConfig {
             write_and_check: false,
             scrub_interval: Some(ros_sim::SimDuration::from_secs(7 * 24 * 3600)),
             seed: 0x20170423, // EuroSys'17 opening day.
+            rack_id: 0,
         }
     }
 
@@ -147,6 +154,7 @@ impl RosConfig {
             write_and_check: false,
             scrub_interval: None,
             seed: 42,
+            rack_id: 0,
         }
     }
 

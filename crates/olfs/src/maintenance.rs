@@ -18,6 +18,10 @@ use serde::{Deserialize, Serialize};
 /// A point-in-time status summary.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SystemStatus {
+    /// Identity of the reporting rack ([`crate::config::RosConfig::rack_id`]);
+    /// 0 for a standalone deployment. Lets a cluster front end aggregate
+    /// per-rack status without wrapping the type.
+    pub rack_id: u32,
     /// Simulated time of the snapshot.
     pub now_nanos: u64,
     /// Files in the global namespace.
@@ -53,6 +57,7 @@ impl Ros {
     /// Produces a status summary (the MI dashboard).
     pub fn status(&self) -> SystemStatus {
         SystemStatus {
+            rack_id: self.cfg.rack_id,
             now_nanos: self.now().as_nanos(),
             files: self.mv.file_count(),
             dirs: self.mv.dir_count(),
@@ -347,6 +352,7 @@ mod tests {
         let mut ros = Ros::new(RosConfig::tiny());
         let before = ros.status();
         assert_eq!(before.files, 0);
+        assert_eq!(before.rack_id, 0, "standalone racks report id 0");
         ros.write_file(&"/a/b".parse().unwrap(), vec![1u8; 100])
             .unwrap();
         let after = ros.status();

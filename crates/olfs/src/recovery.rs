@@ -234,6 +234,15 @@ impl Ros {
         self.mv = mv;
     }
 
+    /// Exports the current MV as a portable snapshot string — the same
+    /// serialization [`Ros::burn_mv_snapshot`] chunks onto discs. A
+    /// cluster front end ships this text to guardian racks so the
+    /// namespace survives whole-rack loss (restore the text with
+    /// [`MetadataVolume::restore`], then [`Ros::adopt_namespace`]).
+    pub fn export_namespace(&self) -> String {
+        self.mv.snapshot()
+    }
+
     /// Scans every Used tray: loads it, reads each disc's data tracks in
     /// parallel, parses the images and collects files matching `keep`.
     fn scan_burned_images(

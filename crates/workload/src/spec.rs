@@ -68,6 +68,27 @@ pub enum WorkloadSpec {
         /// Size distribution for writes.
         sizes: SizeDist,
     },
+    /// Multi-tenant mixed traffic: each operation first picks a tenant
+    /// with Zipf popularity (tenant count + skew are the arrival knobs),
+    /// then behaves like [`WorkloadSpec::Mixed`] inside that tenant's
+    /// directory tree. Models a shared archive serving many users of
+    /// very different activity levels — the traffic shape a multi-rack
+    /// cluster front end must balance.
+    MultiTenantMixed {
+        /// Number of tenants.
+        tenants: usize,
+        /// Zipf skew exponent over tenant popularity (0.0 = uniform).
+        tenant_skew: f64,
+        /// Total operations across all tenants.
+        ops: usize,
+        /// Fraction of operations that are reads (0.0-1.0); a tenth of
+        /// the remainder are stats.
+        read_ratio: f64,
+        /// Size distribution for writes.
+        sizes: SizeDist,
+        /// Directory fan-out (files per directory within a tenant).
+        fanout: usize,
+    },
     /// Analytics readback: a dataset is ingested, then read with Zipf
     /// popularity — the "mining historical data" pattern of §1.
     AnalyticsReadback {
@@ -151,6 +172,40 @@ impl WorkloadSpec {
                 }
                 out
             }
+            WorkloadSpec::MultiTenantMixed {
+                tenants,
+                tenant_skew,
+                ops,
+                read_ratio,
+                sizes,
+                fanout,
+            } => {
+                let zipf = Zipf::new((*tenants).max(1), *tenant_skew);
+                let mut written = vec![0usize; (*tenants).max(1)];
+                let mut out = Vec::with_capacity(*ops);
+                for _ in 0..*ops {
+                    let t = zipf.sample(&mut rng);
+                    let roll = rng.unit_f64();
+                    if written[t] == 0 || roll >= *read_ratio {
+                        if written[t] > 0 && rng.chance(0.1) {
+                            out.push(FileOp::Stat {
+                                path: tenant_path(t, rng.index(written[t]), *fanout),
+                            });
+                        } else {
+                            out.push(FileOp::Write {
+                                path: tenant_path(t, written[t], *fanout),
+                                size: sizes.sample(&mut rng),
+                            });
+                            written[t] += 1;
+                        }
+                    } else {
+                        out.push(FileOp::Read {
+                            path: tenant_path(t, rng.index(written[t]), *fanout),
+                        });
+                    }
+                }
+                out
+            }
             WorkloadSpec::AnalyticsReadback {
                 dataset,
                 sizes,
@@ -194,6 +249,13 @@ fn stream_path(i: usize) -> UdfPath {
 
 fn mixed_path(i: usize) -> UdfPath {
     format!("/mixed/g{:02}/file-{i:06}", i % 16)
+        .parse()
+        // ros-analysis: allow(L2, the generated literal is a valid path)
+        .expect("static path parses")
+}
+
+fn tenant_path(t: usize, i: usize, fanout: usize) -> UdfPath {
+    format!("/tenants/t{t:03}/d{:03}/file-{i:06}", i / fanout.max(1))
         .parse()
         // ros-analysis: allow(L2, the generated literal is a valid path)
         .expect("static path parses")
@@ -318,6 +380,109 @@ mod tests {
         }
         // Roughly the requested mix.
         assert!((200..400).contains(&reads), "reads = {reads}");
+    }
+
+    #[test]
+    fn multi_tenant_accesses_stay_within_written_files() {
+        let spec = WorkloadSpec::MultiTenantMixed {
+            tenants: 8,
+            tenant_skew: 0.8,
+            ops: 600,
+            read_ratio: 0.5,
+            sizes: SizeDist::Fixed { bytes: 1024 },
+            fanout: 4,
+        };
+        let ops = spec.compile(13);
+        assert_eq!(ops.len(), 600);
+        let mut written = std::collections::HashSet::new();
+        for op in &ops {
+            match op {
+                FileOp::Write { path, .. } => {
+                    written.insert(path.to_string());
+                }
+                FileOp::Read { path } | FileOp::Stat { path } => {
+                    assert!(
+                        written.contains(&path.to_string()),
+                        "access before write: {path}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tenant_skew_concentrates_on_hot_tenants() {
+        let count_for = |skew: f64| -> usize {
+            let ops = WorkloadSpec::MultiTenantMixed {
+                tenants: 16,
+                tenant_skew: skew,
+                ops: 4000,
+                read_ratio: 0.5,
+                sizes: SizeDist::Fixed { bytes: 1024 },
+                fanout: 4,
+            }
+            .compile(21);
+            ops.iter()
+                .filter(|op| {
+                    let path = match op {
+                        FileOp::Write { path, .. }
+                        | FileOp::Read { path }
+                        | FileOp::Stat { path } => path,
+                    };
+                    path.to_string().starts_with("/tenants/t000/")
+                })
+                .count()
+        };
+        let skewed = count_for(1.2);
+        let uniform = count_for(0.0);
+        // At skew 1.2 over 16 tenants, rank 0 draws ~1/H ≈ 30% of ops;
+        // uniform gives ~6%.
+        assert!(
+            skewed > 2 * uniform,
+            "hot tenant: skewed = {skewed}, uniform = {uniform}"
+        );
+        assert!((150..500).contains(&uniform), "uniform share = {uniform}");
+    }
+
+    #[test]
+    fn multi_tenant_paths_use_tenant_and_fanout_directories() {
+        let ops = WorkloadSpec::MultiTenantMixed {
+            tenants: 3,
+            tenant_skew: 0.0,
+            ops: 200,
+            read_ratio: 0.0,
+            sizes: SizeDist::Fixed { bytes: 64 },
+            fanout: 5,
+        }
+        .compile(31);
+        let mut dirs = std::collections::HashSet::new();
+        for op in &ops {
+            let FileOp::Write { path, .. } = op else {
+                continue;
+            };
+            let s = path.to_string();
+            assert!(s.starts_with("/tenants/t0"), "path = {s}");
+            let comps = path.components();
+            assert_eq!(comps.len(), 4, "tenant/dir/file nesting: {s}");
+            dirs.insert(format!("{}/{}", comps[1], comps[2]));
+        }
+        // ~200 writes over 3 tenants at fanout 5 spreads across many
+        // directories — the placement groups a cluster balances over.
+        assert!(dirs.len() > 10, "only {} directories", dirs.len());
+    }
+
+    #[test]
+    fn multi_tenant_compilation_is_deterministic() {
+        let spec = WorkloadSpec::MultiTenantMixed {
+            tenants: 5,
+            tenant_skew: 0.9,
+            ops: 300,
+            read_ratio: 0.4,
+            sizes: SizeDist::Uniform { lo: 100, hi: 2000 },
+            fanout: 8,
+        };
+        assert_eq!(spec.compile(17), spec.compile(17));
+        assert_ne!(spec.compile(17), spec.compile(18));
     }
 
     #[test]

@@ -163,7 +163,7 @@ impl TestRunner {
         let seed = std::env::var("PROPTEST_SEED")
             .ok()
             .and_then(|s| s.parse().ok())
-            .unwrap_or(0x5EED_0F_0A11_D15C);
+            .unwrap_or(0x005E_ED0F_0A11_D15C);
         TestRunner {
             config,
             rng: TestRng::seed_from_u64(seed),

@@ -171,6 +171,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::vec_init_then_push)] // json! expands to push sequences
     fn json_macro_builds_objects() {
         let v = json!({ "b": 1, "a": [1, 2, 3], "c": { "nested": true } });
         assert_eq!(v["a"][1].as_u64(), Some(2));
