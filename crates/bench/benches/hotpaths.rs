@@ -1,0 +1,101 @@
+//! Criterion microbenches for the algorithmic hot paths rebuilt in the
+//! complexity overhaul: Read Cache LRU churn, k-way throughput
+//! aggregation at growing series counts, and cached order-statistics
+//! percentile queries. Companion to `repro perf`, which measures the
+//! same paths under the regression gate; this harness gives the richer
+//! interactive Criterion view.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ros_bench::perf::synth_series;
+use ros_olfs::cache::ReadCache;
+use ros_olfs::ImageId;
+use ros_sim::stats::{LatencyRecorder, ThroughputSeries};
+use ros_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+/// Deterministic splitmix-style id stream.
+fn next_id(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn bench(c: &mut Criterion) {
+    for capacity in [64usize, 640] {
+        c.bench_function(&format!("hotpaths/cache_churn_{capacity}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cache = ReadCache::new(capacity);
+                    for i in 0..capacity as u64 * 2 {
+                        cache.insert(ImageId(i));
+                    }
+                    (cache, capacity as u64)
+                },
+                |(mut cache, mut state)| {
+                    for _ in 0..4096 {
+                        let id = ImageId(next_id(&mut state) % (capacity as u64 * 2));
+                        match next_id(&mut state) % 4 {
+                            0 => {
+                                black_box(cache.insert(id));
+                            }
+                            1 | 2 => {
+                                black_box(cache.touch(id));
+                            }
+                            _ => {
+                                black_box(cache.remove(id));
+                            }
+                        }
+                    }
+                    cache
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    for k in [12usize, 48, 480] {
+        let series = synth_series(k, 96);
+        c.bench_function(&format!("hotpaths/aggregate_{k}_series"), |b| {
+            b.iter(|| {
+                let out = ThroughputSeries::aggregate("agg", series.iter());
+                black_box(out.len())
+            })
+        });
+    }
+
+    for n in [4_000usize, 40_000] {
+        let mut rec = LatencyRecorder::new("bench");
+        let mut state = n as u64;
+        for _ in 0..n {
+            rec.record(SimDuration::from_nanos(next_id(&mut state) % 1_000_000));
+        }
+        // Prime the cached sorted view so the one-time O(n log n) build
+        // is not charged to the first measured iteration.
+        black_box(rec.percentile(0.5));
+        c.bench_function(&format!("hotpaths/percentiles_{n}_samples"), |b| {
+            b.iter(|| {
+                let mut acc = SimDuration::ZERO;
+                for _ in 0..512 {
+                    acc = acc
+                        + black_box(rec.percentile(0.5))
+                        + black_box(rec.percentile(0.95))
+                        + black_box(rec.percentile(0.99));
+                }
+                acc
+            })
+        });
+    }
+
+    let lookup = &synth_series(1, 10_000)[0];
+    c.bench_function("hotpaths/rate_at_10k_points", |b| {
+        let mut state = 1u64;
+        b.iter(|| {
+            let t = SimTime::from_nanos(next_id(&mut state) % 10_000_000_000);
+            black_box(lookup.rate_at(t))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

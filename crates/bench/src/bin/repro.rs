@@ -1,11 +1,76 @@
 //! `repro` — regenerate the paper's tables and figures from the models.
 //!
 //! Usage: `repro [table1|table2|table3|fig6|fig7|fig8|fig9|fig10|tco|power|mvrec|ablations|cluster|cluster-smoke|all]`
+//!
+//! Perf harness: `repro perf` (text), `repro perf --json` (baseline
+//! format), `repro perf --check BENCH_hotpaths.json` (CI gate — exits
+//! non-zero when a tracked metric regresses past the threshold).
 
-use ros_bench::render;
+use ros_bench::{perf, render};
+
+/// `repro perf [--json | --check <baseline>]`.
+fn run_perf(mode: Option<&str>, baseline_path: Option<&str>) -> Result<String, String> {
+    let report = perf::measure(5);
+    match mode {
+        None => Ok(report.to_text()),
+        Some("--json") => Ok(report.to_json().map_err(|e| e.to_string())? + "\n"),
+        Some("--check") => {
+            let path = baseline_path.ok_or("usage: repro perf --check <baseline.json>")?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let baseline = perf::PerfReport::from_json(&text).map_err(|e| e.to_string())?;
+            let regressions = report.regressions_vs(&baseline);
+            if regressions.is_empty() {
+                let mut out = report.to_text();
+                out += &format!(
+                    "\nperf gate: OK — all tracked metrics within {}% of {path}\n",
+                    baseline.max_regression_pct
+                );
+                return Ok(out);
+            }
+            let mut msg = format!(
+                "perf gate: {} tracked metric(s) regressed >{}% vs {path}:\n",
+                regressions.len(),
+                baseline.max_regression_pct
+            );
+            for (name, base, cur) in regressions {
+                if cur.is_nan() {
+                    msg += &format!("  {name}: missing from current report (baseline {base:.2})\n");
+                } else {
+                    msg += &format!(
+                        "  {name}: {base:.2} -> {cur:.2} ({:+.1}%)\n",
+                        (cur / base - 1.0) * 100.0
+                    );
+                }
+            }
+            Err(msg)
+        }
+        Some(other) => Err(format!(
+            "unknown perf flag '{other}'; expected --json or --check"
+        )),
+    }
+}
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all")
+        .to_string();
+    if arg == "perf" {
+        match run_perf(
+            args.get(1).map(String::as_str),
+            args.get(2).map(String::as_str),
+        ) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let out = match arg.as_str() {
         "table1" => render::render_table1(),
         "table2" => Ok(render::render_table2()),
@@ -28,7 +93,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: table1 table2 table3 \
                  fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations \
-                 cluster cluster-smoke all json"
+                 cluster cluster-smoke all json perf"
             );
             std::process::exit(2);
         }

@@ -25,6 +25,12 @@ pub struct ClusterScalePoint {
     pub write_mbps: f64,
     /// Mean read latency across racks (ms).
     pub read_mean_ms: f64,
+    /// Median read latency (ms).
+    pub read_p50_ms: f64,
+    /// 95th-percentile read latency (ms).
+    pub read_p95_ms: f64,
+    /// 99th-percentile read latency (ms).
+    pub read_p99_ms: f64,
     /// Read-throughput speedup versus the 1-rack point.
     pub speedup: f64,
 }
@@ -61,6 +67,9 @@ struct PhaseRates {
     read_mbps: f64,
     write_mbps: f64,
     read_mean_ms: f64,
+    read_p50_ms: f64,
+    read_p95_ms: f64,
+    read_p99_ms: f64,
 }
 
 /// Ingests the mix's writes in one epoch, then replays its reads/stats
@@ -102,10 +111,15 @@ fn run_point(racks: usize, ops: usize) -> Result<PhaseRates, BenchError> {
         }
     }
     let reads = ClusterReport::collect(&cluster);
+    // Percentiles share one cached sorted view inside the recorder, so
+    // three tail queries cost one sort — no per-query sample cloning.
     Ok(PhaseRates {
         read_mbps: reads.read_throughput().mb_per_sec(),
         write_mbps: ingest.write_throughput().mb_per_sec(),
         read_mean_ms: reads.read_latency.mean().as_millis_f64(),
+        read_p50_ms: reads.read_latency.percentile(0.50).as_millis_f64(),
+        read_p95_ms: reads.read_latency.percentile(0.95).as_millis_f64(),
+        read_p99_ms: reads.read_latency.percentile(0.99).as_millis_f64(),
     })
 }
 
@@ -125,6 +139,9 @@ pub fn cluster_scaleout(
             read_mbps: rates.read_mbps,
             write_mbps: rates.write_mbps,
             read_mean_ms: rates.read_mean_ms,
+            read_p50_ms: rates.read_p50_ms,
+            read_p95_ms: rates.read_p95_ms,
+            read_p99_ms: rates.read_p99_ms,
             speedup: if base > 0.0 {
                 rates.read_mbps / base
             } else {

@@ -11,6 +11,7 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod perf;
 pub mod render;
 
 pub use cluster::*;

@@ -1,0 +1,423 @@
+//! Hot-path perf-regression harness (`repro perf`).
+//!
+//! Measures the library's algorithmic hot paths — Read Cache churn,
+//! throughput-series aggregation, latency order-statistics — at two
+//! sizes a decade apart, and reports both absolute per-op costs and the
+//! 10×-size **scaling ratios**. The ratios are the *tracked* metrics:
+//! they are close to machine-independent (an O(1)/O(log n) path holds a
+//! ratio near 1–2 on any host, while an O(n) regression pushes it
+//! toward 10), so CI can gate on them without calibrating per runner.
+//! Absolute ns/op values ride along as informational context.
+//!
+//! `repro perf --json` emits the report in the committed
+//! `BENCH_hotpaths.json` format; `repro perf --check <baseline>` fails
+//! (non-zero exit) when any tracked metric regresses more than
+//! [`MAX_REGRESSION_PCT`] versus the baseline.
+
+use crate::experiments::BenchError;
+use ros_olfs::cache::ReadCache;
+use ros_olfs::ImageId;
+use ros_sim::stats::{LatencyRecorder, ThroughputSeries};
+use ros_sim::{Bandwidth, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Tracked metrics may grow at most this much versus the baseline.
+pub const MAX_REGRESSION_PCT: f64 = 25.0;
+
+/// One measured metric of the hot-path report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfMetric {
+    /// Stable metric name (the baseline is joined on it).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit ("ns/op" or "ratio").
+    pub unit: String,
+    /// Whether the CI gate compares this metric against the baseline.
+    pub tracked: bool,
+    /// Human-readable description.
+    pub desc: String,
+}
+
+/// The whole report, in the `BENCH_hotpaths.json` layout.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Format tag.
+    pub schema: String,
+    /// Gate threshold the baseline was committed under.
+    pub max_regression_pct: f64,
+    /// All measured metrics.
+    pub metrics: Vec<PerfMetric>,
+}
+
+/// Times `op()` per element over `n` elements, `reps` times, returning
+/// the median ns/element (medians resist scheduler noise far better
+/// than means on shared CI runners).
+fn median_ns_per<F: FnMut() -> usize>(reps: usize, mut op: F) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let elements = op().max(1);
+            start.elapsed().as_nanos() as f64 / elements as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Splitmix-style deterministic id stream (no rand dependency).
+fn next_id(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+/// Read-cache churn: per-op cost of a mixed touch/insert/remove stream
+/// against a cache holding `capacity` images.
+fn cache_churn_ns(capacity: usize, reps: usize) -> f64 {
+    let ops = 60_000usize;
+    median_ns_per(reps, || {
+        let mut cache = ReadCache::new(capacity);
+        let mut state = capacity as u64;
+        for i in 0..capacity as u64 * 2 {
+            cache.insert(ImageId(i));
+        }
+        for _ in 0..ops {
+            let id = ImageId(next_id(&mut state) % (capacity as u64 * 2));
+            match next_id(&mut state) % 4 {
+                0 => {
+                    black_box(cache.insert(id));
+                }
+                1 | 2 => {
+                    black_box(cache.touch(id));
+                }
+                _ => {
+                    black_box(cache.remove(id));
+                }
+            }
+        }
+        ops
+    })
+}
+
+/// Builds `k` interleaved throughput curves with `points` samples each.
+pub fn synth_series(k: usize, points: usize) -> Vec<ThroughputSeries> {
+    (0..k)
+        .map(|s| {
+            let mut series = ThroughputSeries::new(format!("drive{s}"));
+            for i in 0..points {
+                // Stagger series so their instants interleave without
+                // all coinciding (the worst case for grid resampling).
+                let t = SimTime::from_nanos((i * k + s) as u64 * 1_000_000);
+                let rate = Bandwidth::from_mb_per_sec(((i * 7 + s * 3) % 48) as f64);
+                series.push(t, rate);
+            }
+            series
+        })
+        .collect()
+}
+
+/// Aggregation: per-input-point cost of the k-way merge at `k` series.
+fn aggregate_ns_per_point(k: usize, points: usize, reps: usize) -> f64 {
+    let series = synth_series(k, points);
+    let refs: Vec<&ThroughputSeries> = series.iter().collect();
+    median_ns_per(reps, || {
+        let out = ThroughputSeries::aggregate("agg", refs.iter().copied());
+        black_box(out.len());
+        k * points
+    })
+}
+
+/// Percentile queries: per-query cost of p50/p95/p99 sweeps over a
+/// recorder holding `n` samples (one sort amortized across queries).
+fn percentile_query_ns(n: usize, reps: usize) -> f64 {
+    let queries = 30_000usize;
+    let mut state = n as u64;
+    let mut rec = LatencyRecorder::new("perf");
+    for _ in 0..n {
+        rec.record(SimDuration::from_nanos(next_id(&mut state) % 1_000_000));
+    }
+    median_ns_per(reps, || {
+        for i in 0..queries / 3 {
+            black_box(rec.percentile(0.5));
+            black_box(rec.percentile(0.95));
+            black_box(rec.percentile(if i % 2 == 0 { 0.99 } else { 0.999 }));
+        }
+        queries
+    })
+}
+
+/// Zero-order-hold lookups: per-query cost of `rate_at` on `n` points.
+fn rate_at_query_ns(n: usize, reps: usize) -> f64 {
+    let series = &synth_series(1, n)[0];
+    let queries = 30_000usize;
+    let mut state = n as u64;
+    median_ns_per(reps, || {
+        for _ in 0..queries {
+            let t = SimTime::from_nanos(next_id(&mut state) % (n as u64 * 1_000_000));
+            black_box(series.rate_at(t));
+        }
+        queries
+    })
+}
+
+fn metric(name: &str, value: f64, unit: &str, tracked: bool, desc: &str) -> PerfMetric {
+    PerfMetric {
+        name: name.to_string(),
+        value,
+        unit: unit.to_string(),
+        tracked,
+        desc: desc.to_string(),
+    }
+}
+
+/// Runs every hot-path measurement and assembles the report.
+///
+/// `reps` repetitions feed each median; 5 is the CI setting, tests use
+/// fewer to stay fast.
+pub fn measure(reps: usize) -> PerfReport {
+    let cache_small = cache_churn_ns(64, reps);
+    let cache_big = cache_churn_ns(640, reps);
+    let agg_small = aggregate_ns_per_point(12, 240, reps);
+    let agg_big = aggregate_ns_per_point(120, 240, reps);
+    let pct_small = percentile_query_ns(4_000, reps);
+    let pct_big = percentile_query_ns(40_000, reps);
+    let rate_small = rate_at_query_ns(1_000, reps);
+    let rate_big = rate_at_query_ns(10_000, reps);
+
+    let metrics = vec![
+        metric(
+            "cache_churn_ns_64",
+            cache_small,
+            "ns/op",
+            false,
+            "ReadCache mixed insert/touch/remove, 64-image capacity",
+        ),
+        metric(
+            "cache_churn_ns_640",
+            cache_big,
+            "ns/op",
+            false,
+            "ReadCache mixed insert/touch/remove, 640-image capacity",
+        ),
+        metric(
+            "cache_churn_scale_10x",
+            cache_big / cache_small,
+            "ratio",
+            true,
+            "per-op cost growth for 10x more cached images (O(1) => ~1)",
+        ),
+        metric(
+            "aggregate_ns_per_point_12",
+            agg_small,
+            "ns/op",
+            false,
+            "ThroughputSeries::aggregate per input point, 12 series",
+        ),
+        metric(
+            "aggregate_ns_per_point_120",
+            agg_big,
+            "ns/op",
+            false,
+            "ThroughputSeries::aggregate per input point, 120 series",
+        ),
+        metric(
+            "aggregate_scale_10x",
+            agg_big / agg_small,
+            "ratio",
+            true,
+            "per-point cost growth for 10x more series (O(log k) => ~2)",
+        ),
+        metric(
+            "percentile_query_ns_4k",
+            pct_small,
+            "ns/op",
+            false,
+            "LatencyRecorder percentile query, 4k samples",
+        ),
+        metric(
+            "percentile_query_ns_40k",
+            pct_big,
+            "ns/op",
+            false,
+            "LatencyRecorder percentile query, 40k samples",
+        ),
+        metric(
+            "percentile_scale_10x",
+            pct_big / pct_small,
+            "ratio",
+            true,
+            "per-query cost growth for 10x more samples (cached sort => ~1)",
+        ),
+        metric(
+            "rate_at_query_ns_1k",
+            rate_small,
+            "ns/op",
+            false,
+            "ThroughputSeries::rate_at lookup, 1k points",
+        ),
+        metric(
+            "rate_at_query_ns_10k",
+            rate_big,
+            "ns/op",
+            false,
+            "ThroughputSeries::rate_at lookup, 10k points",
+        ),
+        metric(
+            "rate_at_scale_10x",
+            rate_big / rate_small,
+            "ratio",
+            true,
+            "per-lookup cost growth for 10x more points (O(log n) => ~1)",
+        ),
+    ];
+    PerfReport {
+        schema: "BENCH_hotpaths/v1".to_string(),
+        max_regression_pct: MAX_REGRESSION_PCT,
+        metrics,
+    }
+}
+
+impl PerfReport {
+    /// Renders the report as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(
+            "Hot-path perf report (tracked = gated scaling ratios; 10x size must stay ~flat)\n",
+        );
+        out += &format!(
+            "{:<28} {:>12} {:>8}  {}\n",
+            "metric", "value", "gated", "description"
+        );
+        for m in &self.metrics {
+            out += &format!(
+                "{:<28} {:>9.2} {:<2} {:>8}  {}\n",
+                m.name,
+                m.value,
+                if m.unit == "ratio" { "x" } else { "ns" },
+                if m.tracked { "yes" } else { "-" },
+                m.desc
+            );
+        }
+        out
+    }
+
+    /// Serializes to the committed `BENCH_hotpaths.json` layout.
+    pub fn to_json(&self) -> Result<String, BenchError> {
+        serde_json::to_string_pretty(self).map_err(|e| BenchError {
+            context: "perf_json",
+            detail: e.to_string(),
+        })
+    }
+
+    /// Parses a committed baseline.
+    pub fn from_json(text: &str) -> Result<PerfReport, BenchError> {
+        serde_json::from_str(text).map_err(|e| BenchError {
+            context: "perf_baseline",
+            detail: format!("bad baseline JSON: {e}"),
+        })
+    }
+
+    /// Compares this (fresh) report against `baseline`, returning every
+    /// tracked metric that regressed more than `max_regression_pct`
+    /// (baseline's threshold) as `(name, baseline, current)` rows.
+    pub fn regressions_vs(&self, baseline: &PerfReport) -> Vec<(String, f64, f64)> {
+        let limit = 1.0 + baseline.max_regression_pct / 100.0;
+        let mut out = Vec::new();
+        for base in baseline.metrics.iter().filter(|m| m.tracked) {
+            match self.metrics.iter().find(|m| m.name == base.name) {
+                Some(cur) if cur.value > base.value * limit => {
+                    out.push((base.name.clone(), base.value, cur.value));
+                }
+                Some(_) => {}
+                None => out.push((base.name.clone(), base.value, f64::NAN)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(values: &[(&str, f64, bool)]) -> PerfReport {
+        PerfReport {
+            schema: "BENCH_hotpaths/v1".into(),
+            max_regression_pct: MAX_REGRESSION_PCT,
+            metrics: values
+                .iter()
+                .map(|(n, v, t)| metric(n, *v, "ratio", *t, "test"))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn gate_flags_only_tracked_regressions() {
+        let baseline = report_with(&[("a", 1.0, true), ("b", 2.0, true), ("c", 100.0, false)]);
+        let current = report_with(&[("a", 1.2, true), ("b", 2.6, true), ("c", 900.0, false)]);
+        let bad = current.regressions_vs(&baseline);
+        // a grew 20% (allowed), b grew 30% (flagged), c is untracked.
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].0, "b");
+    }
+
+    #[test]
+    fn gate_flags_missing_tracked_metrics() {
+        let baseline = report_with(&[("gone", 1.0, true)]);
+        let current = report_with(&[("other", 1.0, true)]);
+        let bad = current.regressions_vs(&baseline);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].2.is_nan());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = report_with(&[("x", 1.5, true)]);
+        let back = PerfReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(back.metrics.len(), 1);
+        assert_eq!(back.metrics[0].name, "x");
+        assert!(back.metrics[0].tracked);
+        assert!((back.metrics[0].value - 1.5).abs() < 1e-12);
+        assert!((back.max_regression_pct - MAX_REGRESSION_PCT).abs() < 1e-12);
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "timing assertion; meaningful only in optimized builds (CI release test pass)"
+    )]
+    fn measured_scaling_ratios_are_flat() {
+        // One cheap reps pass: the rebuilt hot paths must not cost 10x
+        // per op at 10x size (the old implementations sat near 10).
+        let report = measure(1);
+        for name in [
+            "cache_churn_scale_10x",
+            "percentile_scale_10x",
+            "rate_at_scale_10x",
+        ] {
+            let m = report
+                .metrics
+                .iter()
+                .find(|m| m.name == name)
+                .expect("tracked metric present");
+            assert!(
+                m.value < 6.0,
+                "{name} = {:.2}, hot path no longer flat",
+                m.value
+            );
+        }
+        let agg = report
+            .metrics
+            .iter()
+            .find(|m| m.name == "aggregate_scale_10x")
+            .expect("aggregate ratio present");
+        assert!(
+            agg.value < 6.0,
+            "aggregate_scale_10x = {:.2}, merge no longer ~O(log k)",
+            agg.value
+        );
+    }
+}

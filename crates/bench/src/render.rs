@@ -312,17 +312,20 @@ pub fn render_cluster_at(
 ) -> Result<String, BenchError> {
     let mut out = hr("Cluster scale-out: Fig. 7 op mix across federated racks");
     out += &format!(
-        "{:<7} {:>12} {:>12} {:>12} {:>9}\n",
-        "racks", "read MB/s", "write MB/s", "read mean", "speedup"
+        "{:<7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}\n",
+        "racks", "read MB/s", "write MB/s", "read mean", "p50", "p95", "p99", "speedup"
     );
     let points = cluster_scaleout(rack_counts, ops)?;
     for p in &points {
         out += &format!(
-            "{:<7} {:>12.1} {:>12.1} {:>10.1}ms {:>8.2}x  {}\n",
+            "{:<7} {:>12.1} {:>12.1} {:>10.1}ms {:>7.1}ms {:>7.1}ms {:>7.1}ms {:>8.2}x  {}\n",
             p.racks,
             p.read_mbps,
             p.write_mbps,
             p.read_mean_ms,
+            p.read_p50_ms,
+            p.read_p95_ms,
+            p.read_p99_ms,
             p.speedup,
             bar(
                 p.speedup,
@@ -488,6 +491,9 @@ pub fn render_json() -> Result<String, BenchError> {
                 "read_mbps": p.read_mbps,
                 "write_mbps": p.write_mbps,
                 "read_mean_ms": p.read_mean_ms,
+                "read_p50_ms": p.read_p50_ms,
+                "read_p95_ms": p.read_p95_ms,
+                "read_p99_ms": p.read_p99_ms,
                 "speedup": p.speedup,
             })
         })

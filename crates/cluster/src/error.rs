@@ -36,6 +36,20 @@ pub enum ClusterError {
         /// The underlying OLFS error.
         source: OlfsError,
     },
+    /// A replicated write landed on some racks but failed on another.
+    /// The group map records the completed replicas, so the data that
+    /// did land stays readable; the caller decides whether to retry for
+    /// full redundancy.
+    PartialWrite {
+        /// The file path.
+        path: String,
+        /// Racks the payload durably reached, placement order.
+        completed: Vec<u32>,
+        /// The rack whose replica failed.
+        failed: u32,
+        /// The underlying OLFS error on the failed rack.
+        source: OlfsError,
+    },
     /// An internal invariant was violated.
     Internal(String),
 }
@@ -64,6 +78,15 @@ impl core::fmt::Display for ClusterError {
                 write!(f, "no guardian MV snapshot for rack {r}")
             }
             ClusterError::Rack { rack, source } => write!(f, "rack {rack}: {source}"),
+            ClusterError::PartialWrite {
+                path,
+                completed,
+                failed,
+                source,
+            } => write!(
+                f,
+                "partial write of {path}: replicas on racks {completed:?}, rack {failed} failed: {source}"
+            ),
             ClusterError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
@@ -72,7 +95,9 @@ impl core::fmt::Display for ClusterError {
 impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ClusterError::Rack { source, .. } => Some(source),
+            ClusterError::Rack { source, .. } | ClusterError::PartialWrite { source, .. } => {
+                Some(source)
+            }
             _ => None,
         }
     }

@@ -14,6 +14,7 @@ use crate::placement::{self, RackId};
 use crate::rack::RackNode;
 use bytes::Bytes;
 use ros_olfs::maintenance::SystemStatus;
+use ros_olfs::OlfsError;
 use ros_sim::{SimDuration, SimTime};
 use ros_udf::UdfPath;
 use std::collections::BTreeMap;
@@ -184,35 +185,60 @@ impl Cluster {
             None => self.place_new_group(&key, size)?,
         };
 
+        // Attempt every replica even if one fails: bytes that landed on
+        // a rack are durable, and the group map must learn about them
+        // or subsequent reads would miss data the cluster is holding.
         let mut latency = SimDuration::ZERO;
-        let mut version = 0;
-        for (i, rid) in targets.iter().enumerate() {
+        let mut version = None;
+        let mut completed: Vec<RackId> = Vec::new();
+        let mut failure: Option<(u32, OlfsError)> = None;
+        for rid in &targets {
             let idx = self.rack_index(rid.0)?;
             let rack = &mut self.racks[idx];
-            let report = rack
-                .ros_mut()
-                .write_file(path, data.clone())
-                .map_err(ClusterError::on(rid.0))?;
-            rack.write_latency.record(report.latency);
-            rack.bytes_written = rack.bytes_written.saturating_add(size);
-            rack.note_stored(size);
-            latency = latency.max(report.latency);
-            if i == 0 {
-                version = report.version;
+            match rack.ros_mut().write_file(path, data.clone()) {
+                Ok(report) => {
+                    rack.write_latency.record(report.latency);
+                    rack.bytes_written = rack.bytes_written.saturating_add(size);
+                    rack.note_stored(size);
+                    latency = latency.max(report.latency);
+                    version.get_or_insert(report.version);
+                    completed.push(*rid);
+                }
+                Err(source) => {
+                    failure.get_or_insert((rid.0, source));
+                }
             }
         }
 
-        let group = self.groups.entry(key).or_insert_with(|| Group {
-            targets: targets.clone(),
-            files: BTreeMap::new(),
-        });
-        group.targets = targets.clone();
-        group.files.insert(path.to_string(), size);
-        Ok(ClusterWriteReport {
-            racks: targets.into_iter().map(|r| r.0).collect(),
-            latency,
-            version,
-        })
+        if !completed.is_empty() {
+            // Record the replicas that hold the new version. A group
+            // only ever shrinks to racks every member file also reached
+            // (writes always fan out to the full target set), so older
+            // files stay readable from the recorded targets.
+            let group = self.groups.entry(key).or_insert_with(|| Group {
+                targets: completed.clone(),
+                files: BTreeMap::new(),
+            });
+            group.targets = completed.clone();
+            group.files.insert(path.to_string(), size);
+        }
+        match failure {
+            None => Ok(ClusterWriteReport {
+                racks: completed.into_iter().map(|r| r.0).collect(),
+                latency,
+                version: version.unwrap_or(0),
+            }),
+            Some((failed, source)) if completed.is_empty() => Err(ClusterError::Rack {
+                rack: failed,
+                source,
+            }),
+            Some((failed, source)) => Err(ClusterError::PartialWrite {
+                path: path.to_string(),
+                completed: completed.into_iter().map(|r| r.0).collect(),
+                failed,
+                source,
+            }),
+        }
     }
 
     fn place_new_group(&self, key: &str, size: u64) -> Result<Vec<RackId>, ClusterError> {
@@ -433,6 +459,43 @@ mod tests {
             }),
             Err(ClusterError::NoCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn partial_write_records_completed_replicas() {
+        // Regression: a replica failure used to abort write_file before
+        // the group map learned the file exists, so reads failed even
+        // though a full copy was durable on the surviving replica.
+        let mut c = Cluster::new(ClusterConfig::tiny(2)).unwrap();
+        c.write_file(&p("/d/first"), vec![1u8; 512]).unwrap();
+        let targets = c.targets_of(&p("/d/first")).unwrap();
+        assert_eq!(targets.len(), 2);
+        let secondary = targets[1];
+
+        // Shadow the path with a directory on the secondary only (behind
+        // the router's back), so that rack's replica write fails with a
+        // typed OLFS error while the primary's succeeds.
+        c.racks[secondary as usize]
+            .ros_mut()
+            .write_file(&p("/d/second/shadow"), vec![0u8; 16])
+            .unwrap();
+
+        let err = c.write_file(&p("/d/second"), vec![2u8; 512]).unwrap_err();
+        match err {
+            ClusterError::PartialWrite {
+                completed, failed, ..
+            } => {
+                assert_eq!(completed, vec![targets[0]]);
+                assert_eq!(failed, secondary);
+            }
+            other => panic!("expected PartialWrite, got {other:?}"),
+        }
+        // The durable replica must be readable despite the failure.
+        let r = c.read_file(&p("/d/second")).unwrap();
+        assert_eq!(r.data.as_ref(), &[2u8; 512][..]);
+        assert_eq!(r.rack, targets[0]);
+        // And the earlier group file is still served.
+        assert!(c.read_file(&p("/d/first")).is_ok());
     }
 
     #[test]

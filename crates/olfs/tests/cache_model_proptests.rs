@@ -1,0 +1,168 @@
+//! Model-based equivalence check for the Read Cache (§4.1).
+//!
+//! The production `ReadCache` is an intrusive hash-linked LRU; the
+//! reference model below is the definitionally obvious O(n) `VecDeque`
+//! implementation of the same policy (LRU with pinned images exempt
+//! from eviction, pins cleared on removal). Random op sequences must
+//! drive both to identical observable behaviour: hit/miss results,
+//! eviction streams, residency, LRU order and counters.
+
+use proptest::prelude::*;
+use ros_olfs::cache::{CacheStats, ReadCache};
+use ros_olfs::ImageId;
+use std::collections::{HashMap, VecDeque};
+
+/// Reference LRU: front = coldest. Mirrors the policy spec exactly.
+struct ModelCache {
+    capacity: usize,
+    order: VecDeque<ImageId>,
+    pins: HashMap<ImageId, u32>,
+    stats: CacheStats,
+}
+
+impl ModelCache {
+    fn new(capacity: usize) -> Self {
+        ModelCache {
+            capacity: capacity.max(1),
+            order: VecDeque::new(),
+            pins: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn touch(&mut self, id: ImageId) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            self.order.push_back(id);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    fn insert(&mut self, id: ImageId) -> Vec<ImageId> {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(id);
+        let mut evicted = Vec::new();
+        while self.order.len() > self.capacity {
+            let victim = self.order.iter().position(|x| !self.pins.contains_key(x));
+            match victim {
+                Some(pos) if self.order[pos] != id => {
+                    let v = self.order.remove(pos).expect("position valid");
+                    self.stats.evictions += 1;
+                    evicted.push(v);
+                }
+                // Everything (else) is pinned: tolerate overflow.
+                _ => break,
+            }
+        }
+        evicted
+    }
+
+    fn remove(&mut self, id: ImageId) -> bool {
+        if let Some(pos) = self.order.iter().position(|&x| x == id) {
+            self.order.remove(pos);
+            self.pins.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pin(&mut self, id: ImageId) {
+        *self.pins.entry(id).or_insert(0) += 1;
+    }
+
+    fn unpin(&mut self, id: ImageId) {
+        if let Some(count) = self.pins.get_mut(&id) {
+            *count -= 1;
+            if *count == 0 {
+                self.pins.remove(&id);
+            }
+        }
+    }
+}
+
+/// Replays one op on both implementations and checks every observable.
+fn step(
+    real: &mut ReadCache,
+    model: &mut ModelCache,
+    op: u8,
+    raw_id: u64,
+) -> Result<(), TestCaseError> {
+    let id = ImageId(raw_id);
+    match op % 5 {
+        0 => {
+            let evicted = real.insert(id);
+            let expected = model.insert(id);
+            prop_assert_eq!(
+                evicted,
+                expected,
+                "eviction stream diverged on insert {}",
+                raw_id
+            );
+        }
+        1 => {
+            prop_assert_eq!(real.touch(id), model.touch(id), "touch {} diverged", raw_id);
+        }
+        2 => {
+            real.pin(id);
+            model.pin(id);
+        }
+        3 => {
+            real.unpin(id);
+            model.unpin(id);
+        }
+        _ => {
+            prop_assert_eq!(
+                real.remove(id),
+                model.remove(id),
+                "remove {} diverged",
+                raw_id
+            );
+        }
+    }
+    prop_assert_eq!(real.len(), model.order.len());
+    prop_assert_eq!(real.is_empty(), model.order.is_empty());
+    prop_assert_eq!(real.contains(id), model.order.contains(&id));
+    prop_assert_eq!(real.stats(), model.stats);
+    let real_order: Vec<ImageId> = real.lru_order().collect();
+    let model_order: Vec<ImageId> = model.order.iter().copied().collect();
+    prop_assert_eq!(real_order, model_order, "LRU order diverged");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Small id space against small capacities maximises collisions,
+    // refreshes, pinned-overflow and remove/re-insert interleavings.
+    #[test]
+    fn hash_linked_lru_matches_deque_model(
+        capacity in 1usize..9,
+        ops in proptest::collection::vec((0u8..5, 0u64..12), 1..120),
+    ) {
+        let mut real = ReadCache::new(capacity);
+        let mut model = ModelCache::new(capacity);
+        prop_assert_eq!(real.capacity(), model.capacity);
+        for (op, raw_id) in ops {
+            step(&mut real, &mut model, op, raw_id)?;
+        }
+    }
+
+    // Wider id churn at tiny capacity stresses slab recycling.
+    #[test]
+    fn lru_model_equivalence_under_churn(
+        ops in proptest::collection::vec((0u8..5, 0u64..64), 1..300),
+    ) {
+        let mut real = ReadCache::new(4);
+        let mut model = ModelCache::new(4);
+        for (op, raw_id) in ops {
+            step(&mut real, &mut model, op, raw_id)?;
+        }
+    }
+}

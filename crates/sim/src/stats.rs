@@ -9,9 +9,15 @@
 
 use crate::bandwidth::Bandwidth;
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::cell::RefCell;
 
 /// Accumulates operation latencies and reports summary statistics.
+///
+/// Order statistics (`min`/`max`/`percentile`) are served from a lazily
+/// maintained sorted view: the first query after new samples arrive
+/// sorts once, and every further query is O(1) (percentile) or O(1)
+/// (min/max) without cloning the sample vector. Recording stays O(1).
 ///
 /// # Examples
 ///
@@ -25,10 +31,43 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(rec.count(), 2);
 /// assert_eq!(rec.mean(), SimDuration::from_millis(15));
 /// ```
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct LatencyRecorder {
     label: String,
     samples: Vec<SimDuration>,
+    /// Sorted copy of `samples`, rebuilt on demand. Samples are only
+    /// ever appended, so a length mismatch is a complete dirtiness
+    /// test — no separate flag needed.
+    sorted: RefCell<Vec<SimDuration>>,
+}
+
+impl Serialize for LatencyRecorder {
+    fn serialize_value(&self) -> Value {
+        // The sorted view is a cache; persist only label + samples
+        // (same shape the former derive produced).
+        Value::Object(vec![
+            ("label".to_string(), self.label.serialize_value()),
+            ("samples".to_string(), self.samples.serialize_value()),
+        ])
+    }
+}
+
+impl Deserialize for LatencyRecorder {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let label = String::deserialize_value(
+            v.get("label")
+                .ok_or_else(|| DeError::missing_field("label"))?,
+        )?;
+        let samples = Vec::<SimDuration>::deserialize_value(
+            v.get("samples")
+                .ok_or_else(|| DeError::missing_field("samples"))?,
+        )?;
+        Ok(LatencyRecorder {
+            label,
+            samples,
+            sorted: RefCell::new(Vec::new()),
+        })
+    }
 }
 
 impl LatencyRecorder {
@@ -37,7 +76,20 @@ impl LatencyRecorder {
         LatencyRecorder {
             label: label.into(),
             samples: Vec::new(),
+            sorted: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Runs `f` over the up-to-date sorted view, rebuilding it first if
+    /// samples arrived since the last order-statistic query.
+    fn with_sorted<R>(&self, f: impl FnOnce(&[SimDuration]) -> R) -> R {
+        let mut sorted = self.sorted.borrow_mut();
+        if sorted.len() != self.samples.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_unstable();
+        }
+        f(&sorted)
     }
 
     /// Returns the recorder's label.
@@ -66,33 +118,27 @@ impl LatencyRecorder {
 
     /// Returns the smallest sample, or zero when empty.
     pub fn min(&self) -> SimDuration {
-        self.samples
-            .iter()
-            .copied()
-            .min()
-            .unwrap_or(SimDuration::ZERO)
+        self.with_sorted(|s| s.first().copied().unwrap_or(SimDuration::ZERO))
     }
 
     /// Returns the largest sample, or zero when empty.
     pub fn max(&self) -> SimDuration {
-        self.samples
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(SimDuration::ZERO)
+        self.with_sorted(|s| s.last().copied().unwrap_or(SimDuration::ZERO))
     }
 
-    /// Returns the `q`-quantile (0.0 = min, 0.5 = median, 1.0 = max) using
-    /// nearest-rank on a sorted copy; zero when empty.
+    /// Returns the `q`-quantile (0.0 = min, 0.5 = median, 1.0 = max)
+    /// using ceil-based nearest-rank (the sample at rank `⌈q·n⌉`), so a
+    /// tail quantile never rounds down past the samples it covers; zero
+    /// when empty.
     pub fn percentile(&self, q: f64) -> SimDuration {
-        if self.samples.is_empty() {
-            return SimDuration::ZERO;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let q = q.clamp(0.0, 1.0);
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[idx]
+        self.with_sorted(|s| {
+            if s.is_empty() {
+                return SimDuration::ZERO;
+            }
+            let q = q.clamp(0.0, 1.0);
+            let rank = (q * s.len() as f64).ceil() as usize;
+            s[rank.clamp(1, s.len()) - 1]
+        })
     }
 
     /// Returns all samples in recording order.
@@ -212,39 +258,70 @@ impl ThroughputSeries {
     /// the aggregate curve (e.g. 12 drives burning concurrently, Figure 9).
     ///
     /// Each input series is sampled with zero-order hold at every instant
-    /// appearing in any series.
+    /// appearing in any series. Implemented as a single k-way sweep-line
+    /// merge over the time-ordered inputs — O(total points × log k) with
+    /// an incrementally maintained running sum — instead of resampling
+    /// every series at every grid instant (which is quadratic in the
+    /// total point count and dominated Figure 9 at drive-array scale).
     pub fn aggregate<'a>(
         label: impl Into<String>,
         series: impl IntoIterator<Item = &'a ThroughputSeries>,
     ) -> ThroughputSeries {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
         let series: Vec<&ThroughputSeries> = series.into_iter().collect();
-        let mut grid: Vec<SimTime> = series
+        // Next unconsumed point index per series, and the rate each
+        // series currently holds (bytes/sec, summed incrementally).
+        let mut cursor = vec![0usize; series.len()];
+        let mut held = vec![0.0f64; series.len()];
+        let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = series
             .iter()
-            .flat_map(|s| s.points.iter().map(|p| p.at))
+            .enumerate()
+            .filter_map(|(k, s)| s.points.first().map(|p| Reverse((p.at, k))))
             .collect();
-        grid.sort_unstable();
-        grid.dedup();
         let mut out = ThroughputSeries::new(label);
-        for t in grid {
-            let total: Bandwidth = series.iter().map(|s| s.rate_at(t)).sum();
-            out.push(t, total);
+        let mut total = 0.0f64;
+        while let Some(&Reverse((t, _))) = heap.peek() {
+            // Fold in every series with a sample at instant `t`; within
+            // a series, the last of several same-instant samples wins,
+            // matching zero-order hold.
+            while let Some(&Reverse((at, k))) = heap.peek() {
+                if at != t {
+                    break;
+                }
+                heap.pop();
+                let pts = &series[k].points;
+                let mut i = cursor[k];
+                while i < pts.len() && pts[i].at == t {
+                    i += 1;
+                }
+                let new = pts[i - 1].rate.bytes_per_sec();
+                total += new - held[k];
+                held[k] = new;
+                cursor[k] = i;
+                if i < pts.len() {
+                    heap.push(Reverse((pts[i].at, k)));
+                }
+            }
+            // Float cancellation could leave a tiny negative residue
+            // once every series has dropped to zero; clamp it.
+            out.push(t, Bandwidth::from_bytes_per_sec(total.max(0.0)));
         }
         out
     }
 
     /// Returns the zero-order-hold rate at instant `t` (zero before the
     /// first sample and after the last sample's hold is irrelevant here
-    /// because a finished burn contributes zero).
+    /// because a finished burn contributes zero). Binary search over the
+    /// time-ordered points, O(log n).
     pub fn rate_at(&self, t: SimTime) -> Bandwidth {
-        let mut current = Bandwidth::ZERO;
-        for p in &self.points {
-            if p.at <= t {
-                current = p.rate;
-            } else {
-                break;
-            }
+        let after = self.points.partition_point(|p| p.at <= t);
+        if after == 0 {
+            Bandwidth::ZERO
+        } else {
+            self.points[after - 1].rate
         }
-        current
     }
 }
 
@@ -345,6 +422,149 @@ mod tests {
             Bandwidth::from_mb_per_sec(20.0)
         );
         assert_eq!(sum.rate_at(SimTime::from_secs(20)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn percentile_uses_ceil_nearest_rank() {
+        // Regression: .round()-based ranks mis-placed quantiles — p91
+        // of ten samples picked the 9th instead of the 10th, quietly
+        // under-reporting tails.
+        let mut rec = LatencyRecorder::new("tail");
+        for ms in 1..=10u64 {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(rec.percentile(0.91), SimDuration::from_millis(10));
+        assert_eq!(rec.percentile(0.90), SimDuration::from_millis(9));
+        // Ceil nearest-rank: the even-count median is the lower middle,
+        // and any quantile past a rank boundary takes the next sample.
+        let mut four = LatencyRecorder::new("four");
+        for ms in [10u64, 20, 30, 40] {
+            four.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(four.percentile(0.5), SimDuration::from_millis(20));
+        assert_eq!(four.percentile(0.75), SimDuration::from_millis(30));
+        assert_eq!(four.percentile(0.751), SimDuration::from_millis(40));
+    }
+
+    #[test]
+    fn order_stats_refresh_after_new_samples() {
+        // The cached sorted view must invalidate when samples arrive
+        // between queries (both via record and via merge).
+        let mut rec = LatencyRecorder::new("refresh");
+        rec.record(SimDuration::from_millis(20));
+        assert_eq!(rec.max(), SimDuration::from_millis(20));
+        rec.record(SimDuration::from_millis(50));
+        assert_eq!(rec.max(), SimDuration::from_millis(50));
+        assert_eq!(rec.min(), SimDuration::from_millis(20));
+        let mut other = LatencyRecorder::new("other");
+        other.record(SimDuration::from_millis(5));
+        rec.merge(&other);
+        assert_eq!(rec.min(), SimDuration::from_millis(5));
+        assert_eq!(rec.percentile(1.0), SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn recorder_serde_round_trip() {
+        let mut rec = LatencyRecorder::new("rt");
+        rec.record(SimDuration::from_millis(7));
+        rec.record(SimDuration::from_millis(3));
+        let _ = rec.max(); // populate the cache; it must not serialize
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: LatencyRecorder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.label(), "rt");
+        assert_eq!(back.samples(), rec.samples());
+        assert_eq!(back.percentile(0.5), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn aggregate_handles_same_instant_samples() {
+        let mut a = ThroughputSeries::new("a");
+        a.push(SimTime::from_secs(0), Bandwidth::from_mb_per_sec(10.0));
+        a.push(SimTime::from_secs(5), Bandwidth::ZERO);
+        let mut b = ThroughputSeries::new("b");
+        b.push(SimTime::from_secs(0), Bandwidth::from_mb_per_sec(5.0));
+        b.push(SimTime::from_secs(5), Bandwidth::from_mb_per_sec(15.0));
+        // Same-instant re-sample: the later value wins (zero-order hold).
+        b.push(SimTime::from_secs(5), Bandwidth::from_mb_per_sec(25.0));
+        let sum = ThroughputSeries::aggregate("sum", [&a, &b]);
+        assert_eq!(sum.len(), 2, "grid instants must stay deduplicated");
+        assert_eq!(
+            sum.rate_at(SimTime::from_secs(0)),
+            Bandwidth::from_mb_per_sec(15.0)
+        );
+        assert_eq!(
+            sum.rate_at(SimTime::from_secs(5)),
+            Bandwidth::from_mb_per_sec(25.0)
+        );
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_empty() {
+        assert!(ThroughputSeries::aggregate("none", []).is_empty());
+        let empty = ThroughputSeries::new("e");
+        let mut one = ThroughputSeries::new("o");
+        one.push(SimTime::from_secs(1), Bandwidth::from_mb_per_sec(2.0));
+        let sum = ThroughputSeries::aggregate("sum", [&empty, &one]);
+        assert_eq!(sum.len(), 1);
+        assert_eq!(
+            sum.rate_at(SimTime::from_secs(1)),
+            Bandwidth::from_mb_per_sec(2.0)
+        );
+    }
+
+    #[test]
+    fn sweep_line_matches_naive_resampling() {
+        // Pin the sweep-line merge against the definitionally obvious
+        // grid resampler on irregular pseudo-random series.
+        fn naive(series: &[&ThroughputSeries]) -> Vec<RatePoint> {
+            let mut grid: Vec<SimTime> = series
+                .iter()
+                .flat_map(|s| s.points().iter().map(|p| p.at))
+                .collect();
+            grid.sort_unstable();
+            grid.dedup();
+            grid.into_iter()
+                .map(|t| RatePoint {
+                    at: t,
+                    rate: series.iter().map(|s| s.rate_at(t)).sum(),
+                })
+                .collect()
+        }
+        let mut state = 0x9E37_79B9u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let series: Vec<ThroughputSeries> = (0..7)
+            .map(|k| {
+                let mut s = ThroughputSeries::new(format!("s{k}"));
+                let mut t = 0u64;
+                for _ in 0..40 {
+                    t += next() % 90; // duplicate instants included
+                    s.push(
+                        SimTime::from_secs(t),
+                        Bandwidth::from_mb_per_sec((next() % 50) as f64),
+                    );
+                }
+                s
+            })
+            .collect();
+        let refs: Vec<&ThroughputSeries> = series.iter().collect();
+        let fast = ThroughputSeries::aggregate("fast", refs.iter().copied());
+        let slow = naive(&refs);
+        assert_eq!(fast.len(), slow.len());
+        for (f, s) in fast.points().iter().zip(&slow) {
+            assert_eq!(f.at, s.at);
+            assert!(
+                (f.rate.bytes_per_sec() - s.rate.bytes_per_sec()).abs() < 1e-3,
+                "rate diverged at {:?}: {} vs {}",
+                f.at,
+                f.rate,
+                s.rate
+            );
+        }
     }
 
     #[test]
