@@ -5,6 +5,11 @@
 //! Perf harness: `repro perf` (text), `repro perf --json` (baseline
 //! format), `repro perf --check BENCH_hotpaths.json` (CI gate — exits
 //! non-zero when a tracked metric regresses past the threshold).
+//!
+//! Chaos harness: `repro chaos` (full soak), `repro chaos --smoke`
+//! (CI-sized run). Exits non-zero on acked-write loss, timeline
+//! divergence across the seeded re-run, or retry amplification past
+//! the ceiling.
 
 use ros_bench::{perf, render};
 
@@ -71,6 +76,24 @@ fn main() {
         }
         return;
     }
+    if arg == "chaos" {
+        let smoke = match args.get(1).map(String::as_str) {
+            None => false,
+            Some("--smoke") => true,
+            Some(other) => {
+                eprintln!("unknown chaos flag '{other}'; expected --smoke");
+                std::process::exit(2);
+            }
+        };
+        match render::render_chaos(smoke) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("chaos soak failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let out = match arg.as_str() {
         "table1" => render::render_table1(),
         "table2" => Ok(render::render_table2()),
@@ -93,7 +116,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: table1 table2 table3 \
                  fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations \
-                 cluster cluster-smoke all json perf"
+                 cluster cluster-smoke all json perf chaos"
             );
             std::process::exit(2);
         }

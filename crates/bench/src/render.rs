@@ -376,6 +376,60 @@ pub fn render_cluster_smoke() -> Result<String, BenchError> {
     render_cluster_at(&[1, 2], 2, 240)
 }
 
+/// Renders the chaos soak: the seeded fault timeline, the degraded-mode
+/// op counts, and the invariant verdicts. The harness itself runs the
+/// scenario twice and fails on timeline divergence, acked-write loss or
+/// retry amplification past the ceiling, so a rendered report implies
+/// all three invariants held.
+pub fn render_chaos(smoke: bool) -> Result<String, BenchError> {
+    let cfg = if smoke {
+        crate::chaos::ChaosConfig::smoke()
+    } else {
+        crate::chaos::ChaosConfig::soak()
+    };
+    let r = crate::chaos::run_chaos_checked(&cfg)?;
+    let mut out = hr("Chaos soak: mixed workload under a seeded fault schedule");
+    out += &format!(
+        "{} racks, {} ops, seed {}, {} fault mix\n",
+        r.racks,
+        r.ops,
+        r.seed,
+        if cfg.heavy { "soak" } else { "smoke" }
+    );
+    out += "\nfault timeline:\n";
+    for line in &r.timeline {
+        out += &format!("  {line}\n");
+    }
+    out += &format!(
+        "\nfaults: {} injected, {} skipped (target unavailable)\n",
+        r.injected, r.skipped
+    );
+    out += &format!(
+        "writes: {} acked clean, {} acked degraded, {} failed typed\n",
+        r.acked_writes, r.degraded_writes, r.failed_writes
+    );
+    out += &format!(
+        "reads:  {} clean, {} degraded (retry/fallback), {} failed typed\n",
+        r.clean_reads, r.degraded_reads, r.failed_reads
+    );
+    out += &format!(
+        "maintenance: {} SSD members healed, {} bays serviced\n",
+        r.members_healed, r.bays_serviced
+    );
+    out += &format!(
+        "retry amplification: {:.2} attempts/op (ceiling {:.2})\n",
+        r.amplification, cfg.max_amplification
+    );
+    out += &format!(
+        "invariants: timeline digest {:#018x} stable across re-run; \
+         {} acked file(s) verified bit-exact, {} lost\n",
+        r.timeline_digest,
+        r.verified,
+        r.lost.len()
+    );
+    Ok(out)
+}
+
 fn bar(value: f64, max: f64, width: usize) -> String {
     let n = ((value / max).clamp(0.0, 1.0) * width as f64) as usize;
     "#".repeat(n)

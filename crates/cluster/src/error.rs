@@ -50,6 +50,16 @@ pub enum ClusterError {
         /// The underlying OLFS error on the failed rack.
         source: OlfsError,
     },
+    /// A supervised cluster operation ran out of retry budget; `last`
+    /// is the transient error from the final attempt.
+    RetriesExhausted {
+        /// The supervised operation ("read", "write", ...).
+        op: String,
+        /// Attempts performed before giving up.
+        attempts: u32,
+        /// The last transient failure.
+        last: Box<ClusterError>,
+    },
     /// An internal invariant was violated.
     Internal(String),
 }
@@ -58,6 +68,25 @@ impl ClusterError {
     /// Adapter for `map_err`: tags an OLFS error with its rack.
     pub(crate) fn on(rack: u32) -> impl Fn(OlfsError) -> ClusterError + Copy {
         move |source| ClusterError::Rack { rack, source }
+    }
+}
+
+/// What the cluster-level retry supervisor may retry.
+///
+/// A single rack error is transient when its OLFS source is (a misfeed,
+/// a rerouted drive); `AllReplicasFailed` is transient because replica
+/// errors are often independent glitches and the next pass may find one
+/// recovered. A `PartialWrite` is deliberately NOT transient: the bytes
+/// that landed are durable and recorded, so retrying would mint a new
+/// version instead of completing this one — callers handle it as a typed
+/// degraded outcome.
+impl ros_faults::Transience for ClusterError {
+    fn is_transient(&self) -> bool {
+        match self {
+            ClusterError::Rack { source, .. } => ros_faults::Transience::is_transient(source),
+            ClusterError::AllReplicasFailed { .. } => true,
+            _ => false,
+        }
     }
 }
 
@@ -87,6 +116,9 @@ impl core::fmt::Display for ClusterError {
                 f,
                 "partial write of {path}: replicas on racks {completed:?}, rack {failed} failed: {source}"
             ),
+            ClusterError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "{op} failed after {attempts} attempts: {last}")
+            }
             ClusterError::Internal(m) => write!(f, "internal: {m}"),
         }
     }

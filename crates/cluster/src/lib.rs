@@ -37,6 +37,7 @@ pub mod rack;
 pub mod replication;
 pub mod router;
 pub mod stats;
+pub mod supervise;
 
 pub use config::ClusterConfig;
 pub use error::ClusterError;

@@ -2,10 +2,11 @@
 //! accounting.
 
 use crate::config::ClusterConfig;
+use crate::error::ClusterError;
 use crate::placement::RackId;
 use ros_olfs::Ros;
 use ros_sim::stats::LatencyRecorder;
-use ros_sim::SimTime;
+use ros_sim::{SimDuration, SimTime};
 
 /// A member rack of the cluster: a full single-rack ROS with its own
 /// mech/drive/disk stack and event clock, wrapped with the routing state
@@ -15,6 +16,10 @@ pub struct RackNode {
     id: RackId,
     ros: Ros,
     alive: bool,
+    /// Service-time scale in percent; 100 is nominal, 300 means every
+    /// routed operation reports 3x latency (degraded cooling, a failing
+    /// switch — the rack still answers, just slowly).
+    slowdown_pct: u32,
     bytes_stored: u64,
     usable_capacity: u64,
     pub(crate) read_latency: LatencyRecorder,
@@ -25,20 +30,52 @@ pub struct RackNode {
 
 impl RackNode {
     /// Builds member `id` from the cluster configuration.
+    ///
+    /// Panics if the rack template is invalid; [`RackNode::try_new`]
+    /// is the typed variant.
     pub fn new(cfg: &ClusterConfig, id: RackId) -> Self {
+        // ros-analysis: allow(L2, constructor contract is documented; try_new is the fallible path)
+        Self::try_new(cfg, id).expect("invalid rack configuration")
+    }
+
+    /// Builds member `id`, surfacing an invalid rack template as a
+    /// typed error instead of a panic.
+    pub fn try_new(cfg: &ClusterConfig, id: RackId) -> Result<Self, ClusterError> {
         let rack_cfg = cfg.rack_config(id.0);
         let usable_capacity = rack_cfg.usable_capacity();
-        RackNode {
+        let ros = Ros::try_new(rack_cfg)
+            .map_err(|e| ClusterError::Config(format!("rack {} template: {e}", id.0)))?;
+        Ok(RackNode {
             id,
-            ros: Ros::new(rack_cfg),
+            ros,
             alive: true,
+            slowdown_pct: 100,
             bytes_stored: 0,
             usable_capacity,
             read_latency: LatencyRecorder::new(format!("rack{} read", id.0)),
             write_latency: LatencyRecorder::new(format!("rack{} write", id.0)),
             bytes_read: 0,
             bytes_written: 0,
+        })
+    }
+
+    /// Current service-time scale in percent (100 = nominal).
+    pub fn slowdown_pct(&self) -> u32 {
+        self.slowdown_pct
+    }
+
+    /// Sets the service-time scale in percent; values below 1 clamp to 1.
+    pub(crate) fn set_slowdown_pct(&mut self, pct: u32) {
+        self.slowdown_pct = pct.max(1);
+    }
+
+    /// Scales a reported operation latency by the rack's slowdown.
+    pub(crate) fn scaled(&self, d: SimDuration) -> SimDuration {
+        if self.slowdown_pct == 100 {
+            return d;
         }
+        let nanos = d.as_nanos().saturating_mul(u64::from(self.slowdown_pct)) / 100;
+        SimDuration::from_nanos(nanos)
     }
 
     /// The rack's cluster identity.

@@ -71,8 +71,8 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
         cfg.validate()?;
         let racks = (0..cfg.racks as u32)
-            .map(|id| RackNode::new(&cfg, RackId(id)))
-            .collect();
+            .map(|id| RackNode::try_new(&cfg, RackId(id)))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Cluster {
             cfg,
             racks,
@@ -197,10 +197,11 @@ impl Cluster {
             let rack = &mut self.racks[idx];
             match rack.ros_mut().write_file(path, data.clone()) {
                 Ok(report) => {
-                    rack.write_latency.record(report.latency);
+                    let lat = rack.scaled(report.latency);
+                    rack.write_latency.record(lat);
                     rack.bytes_written = rack.bytes_written.saturating_add(size);
                     rack.note_stored(size);
-                    latency = latency.max(report.latency);
+                    latency = latency.max(lat);
                     version.get_or_insert(report.version);
                     completed.push(*rid);
                 }
@@ -211,15 +212,22 @@ impl Cluster {
         }
 
         if !completed.is_empty() {
-            // Record the replicas that hold the new version. A group
-            // only ever shrinks to racks every member file also reached
-            // (writes always fan out to the full target set), so older
-            // files stay readable from the recorded targets.
+            // Record the replicas that hold the new version. The target
+            // set only ever GROWS here: racks already in the group keep
+            // holding every older member file, so evicting one (as a
+            // partial write used to) would make data the cluster still
+            // holds unreachable once another replica failed. Reads skip
+            // dead or file-less members and fall through to the next
+            // target; only a failure drill re-homes a group.
             let group = self.groups.entry(key).or_insert_with(|| Group {
                 targets: completed.clone(),
                 files: BTreeMap::new(),
             });
-            group.targets = completed.clone();
+            for rid in &completed {
+                if !group.targets.contains(rid) {
+                    group.targets.push(*rid);
+                }
+            }
             group.files.insert(path.to_string(), size);
         }
         match failure {
@@ -278,12 +286,13 @@ impl Cluster {
             match self.racks[idx].ros_mut().read_file(path) {
                 Ok(report) => {
                     let rack = &mut self.racks[idx];
-                    rack.read_latency.record(report.latency);
+                    let lat = rack.scaled(report.latency);
+                    rack.read_latency.record(lat);
                     rack.bytes_read = rack.bytes_read.saturating_add(report.data.len() as u64);
                     return Ok(ClusterReadReport {
                         data: report.data,
                         rack: rid.0,
-                        latency: report.latency,
+                        latency: lat,
                         fallbacks: tried.len(),
                     });
                 }
@@ -496,6 +505,46 @@ mod tests {
         assert_eq!(r.rack, targets[0]);
         // And the earlier group file is still served.
         assert!(c.read_file(&p("/d/first")).is_ok());
+    }
+
+    #[test]
+    fn partial_write_must_not_evict_replicas_of_earlier_files() {
+        // Regression: a partial write used to REPLACE the group's target
+        // set with only the racks the new file reached. /d/first below
+        // was written at replication 2, but after /d/second partially
+        // failed on the secondary, the group forgot the secondary held
+        // /d/first — and a primary outage then lost a file the cluster
+        // still had a full copy of.
+        let mut c = Cluster::new(ClusterConfig::tiny(2)).unwrap();
+        c.write_file(&p("/d/first"), vec![1u8; 512]).unwrap();
+        let targets = c.targets_of(&p("/d/first")).unwrap();
+        assert_eq!(targets.len(), 2);
+        let (primary, secondary) = (targets[0], targets[1]);
+
+        // Shadow the path with a directory on the secondary only, so its
+        // replica write fails typed while the primary's succeeds.
+        c.racks[secondary as usize]
+            .ros_mut()
+            .write_file(&p("/d/second/shadow"), vec![0u8; 16])
+            .unwrap();
+        let err = c.write_file(&p("/d/second"), vec![2u8; 512]).unwrap_err();
+        assert!(matches!(err, ClusterError::PartialWrite { .. }));
+
+        // The secondary must still be a target: it holds /d/first.
+        assert_eq!(c.targets_of(&p("/d/first")).unwrap().len(), 2);
+
+        // Primary outage: /d/first must keep serving from the secondary.
+        c.fail_rack(primary).unwrap();
+        let r = c.read_file(&p("/d/first")).unwrap();
+        assert_eq!(r.data.as_ref(), &[1u8; 512][..]);
+        assert_eq!(r.rack, secondary);
+        assert_eq!(r.fallbacks, 1);
+        // /d/second only ever reached the primary; its loss is reported
+        // typed, not silently absorbed.
+        assert!(matches!(
+            c.read_file(&p("/d/second")).unwrap_err(),
+            ClusterError::AllReplicasFailed { .. }
+        ));
     }
 
     #[test]

@@ -234,6 +234,37 @@ impl RaidArray {
     }
 }
 
+/// The array accepts device-level loss/repair events. The `volume`
+/// coordinate is the volume manager's routing concern; by the time an
+/// event reaches a concrete array the member index applies directly
+/// (wrapped modulo the member count so generated plans never miss).
+impl ros_faults::FaultSink for RaidArray {
+    fn inject_fault(&mut self, event: &ros_faults::FaultEvent) -> ros_faults::InjectionOutcome {
+        use ros_faults::{FaultKind, InjectionOutcome};
+        match &event.kind {
+            FaultKind::SsdLoss { member, .. } => {
+                let i = *member as usize % self.members.len();
+                if self.members[i].failed {
+                    InjectionOutcome::Skipped(format!("member {i} already failed"))
+                } else {
+                    self.members[i].failed = true;
+                    InjectionOutcome::Injected
+                }
+            }
+            FaultKind::SsdRepair { member, .. } => {
+                let i = *member as usize % self.members.len();
+                if self.members[i].failed {
+                    self.members[i].failed = false;
+                    InjectionOutcome::Injected
+                } else {
+                    InjectionOutcome::Skipped(format!("member {i} is healthy"))
+                }
+            }
+            _ => InjectionOutcome::NotApplicable,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +324,47 @@ mod tests {
         assert!(a.is_failed());
         assert_eq!(a.read_time(1024).unwrap_err(), RaidError::ArrayFailed);
         assert!(a.read_bandwidth().is_zero());
+    }
+
+    #[test]
+    fn fault_sink_loss_and_repair_round_trip() {
+        use ros_faults::{FaultEvent, FaultKind, FaultSink, InjectionOutcome, VolumeTarget};
+        let mut a = RaidArray::prototype_data();
+        let ev = |kind: FaultKind| FaultEvent {
+            seq: 0,
+            at_op: 0,
+            kind,
+        };
+        let loss = FaultKind::SsdLoss {
+            volume: VolumeTarget::Buffer,
+            member: 9, // wraps to member 2 of the 7-wide array
+        };
+        assert_eq!(
+            a.inject_fault(&ev(loss.clone())),
+            InjectionOutcome::Injected
+        );
+        assert!(a.is_degraded());
+        assert!(matches!(
+            a.inject_fault(&ev(loss)),
+            InjectionOutcome::Skipped(_)
+        ));
+        let repair = FaultKind::SsdRepair {
+            volume: VolumeTarget::Buffer,
+            member: 9,
+        };
+        assert_eq!(
+            a.inject_fault(&ev(repair.clone())),
+            InjectionOutcome::Injected
+        );
+        assert!(!a.is_degraded());
+        assert!(matches!(
+            a.inject_fault(&ev(repair)),
+            InjectionOutcome::Skipped(_)
+        ));
+        assert_eq!(
+            a.inject_fault(&ev(FaultKind::MechTransient { count: 1 })),
+            InjectionOutcome::NotApplicable
+        );
     }
 
     #[test]

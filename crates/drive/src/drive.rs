@@ -42,6 +42,15 @@ pub enum DriveError {
     Busy,
     /// Media-level failure.
     Media(MediaError),
+    /// A transient servo/focus error spoiled this read; retrying the
+    /// same read may succeed (§3: drives recalibrate between attempts).
+    TransientRead,
+    /// The burn completed mechanically but verification shows the disc
+    /// was spoiled; the tray must be retired and re-burned onto spares.
+    BurnFailed,
+    /// The drive is dead (permanent servo/laser failure); only disc
+    /// exchange still works so the library can evacuate the bay.
+    Failed,
 }
 
 impl From<MediaError> for DriveError {
@@ -57,6 +66,9 @@ impl core::fmt::Display for DriveError {
             DriveError::AlreadyLoaded => write!(f, "drive already holds a disc"),
             DriveError::Busy => write!(f, "drive is burning"),
             DriveError::Media(e) => write!(f, "media: {e}"),
+            DriveError::TransientRead => write!(f, "transient read error (servo recalibrating)"),
+            DriveError::BurnFailed => write!(f, "burn verification failed (disc spoiled)"),
+            DriveError::Failed => write!(f, "drive failed permanently"),
         }
     }
 }
@@ -84,6 +96,12 @@ pub struct OpticalDrive {
     pub check_mode: bool,
     state: DriveState,
     disc: Option<Disc>,
+    /// Injected transient read faults still pending (each fails one read).
+    transient_read_faults: u32,
+    /// Injected burn faults still pending (each spoils one burn).
+    pending_burn_faults: u32,
+    /// Permanently failed (injected drive death).
+    dead: bool,
 }
 
 impl OpticalDrive {
@@ -95,6 +113,50 @@ impl OpticalDrive {
             check_mode: false,
             state: DriveState::Empty,
             disc: None,
+            transient_read_faults: 0,
+            pending_burn_faults: 0,
+            dead: false,
+        }
+    }
+
+    /// True once the drive has died permanently.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Arms `n` transient read faults: the next `n` reads fail with
+    /// [`DriveError::TransientRead`], then reads recover.
+    pub fn inject_transient_reads(&mut self, n: u32) {
+        self.transient_read_faults = self.transient_read_faults.saturating_add(n);
+    }
+
+    /// Arms `n` burn faults: the next `n` burn completions fail with
+    /// [`DriveError::BurnFailed`], leaving the drive loaded so the
+    /// spoiled disc can be evacuated.
+    pub fn inject_burn_faults(&mut self, n: u32) {
+        self.pending_burn_faults = self.pending_burn_faults.saturating_add(n);
+    }
+
+    /// Kills the drive permanently. Reads and burns fail with
+    /// [`DriveError::Failed`]; disc exchange keeps working so the
+    /// library can evacuate the bay.
+    pub fn kill(&mut self) {
+        self.dead = true;
+        // A burn in flight is lost with the laser.
+        if self.state == DriveState::Burning {
+            self.state = DriveState::Loaded(SpinState::Active);
+        }
+    }
+
+    /// Swaps the unit for a fresh one of the same model (field service):
+    /// clears the dead flag and any armed faults. A replacement cannot be
+    /// mid-burn, so a wedged Burning state settles back to loaded.
+    pub fn service(&mut self) {
+        self.dead = false;
+        self.transient_read_faults = 0;
+        self.pending_burn_faults = 0;
+        if self.state == DriveState::Burning {
+            self.state = DriveState::Loaded(SpinState::Active);
         }
     }
 
@@ -185,6 +247,13 @@ impl OpticalDrive {
         if self.state == DriveState::Burning {
             return Err(DriveError::Busy);
         }
+        if self.dead {
+            return Err(DriveError::Failed);
+        }
+        if self.transient_read_faults > 0 {
+            self.transient_read_faults -= 1;
+            return Err(DriveError::TransientRead);
+        }
         let mount = self.mount()?;
         let speed = self.read_speed()?;
         // ros-analysis: allow(L2, mount() above errors unless a disc is present)
@@ -210,6 +279,9 @@ impl OpticalDrive {
     /// Marks the drive as burning; reads and ejects fail until
     /// [`OpticalDrive::finish_burn`] or [`OpticalDrive::interrupt_burn`].
     pub fn begin_burn(&mut self) -> Result<(), DriveError> {
+        if self.dead {
+            return Err(DriveError::Failed);
+        }
         match self.state {
             DriveState::Burning => Err(DriveError::Busy),
             DriveState::Empty => Err(DriveError::NoDisc),
@@ -220,12 +292,28 @@ impl OpticalDrive {
         }
     }
 
+    /// Consumes a pending injected burn fault, if armed, restoring the
+    /// drive to loaded state so the spoiled disc can be evacuated.
+    fn take_burn_fault(&mut self) -> Result<(), DriveError> {
+        if self.dead {
+            self.state = DriveState::Loaded(SpinState::Active);
+            return Err(DriveError::Failed);
+        }
+        if self.pending_burn_faults > 0 {
+            self.pending_burn_faults -= 1;
+            self.state = DriveState::Loaded(SpinState::Active);
+            return Err(DriveError::BurnFailed);
+        }
+        Ok(())
+    }
+
     /// Completes a burn, committing the image to the disc in
     /// write-all-once mode.
     pub fn finish_burn(&mut self, image_id: u64, payload: Payload) -> Result<(), DriveError> {
         if self.state != DriveState::Burning {
             return Err(DriveError::NoDisc);
         }
+        self.take_burn_fault()?;
         let disc = self.disc.as_mut().ok_or(DriveError::NoDisc)?;
         disc.burn_all_once(image_id, payload)?;
         self.state = DriveState::Loaded(SpinState::Active);
@@ -238,6 +326,7 @@ impl OpticalDrive {
         if self.state != DriveState::Burning {
             return Err(DriveError::NoDisc);
         }
+        self.take_burn_fault()?;
         let disc = self.disc.as_mut().ok_or(DriveError::NoDisc)?;
         disc.burn_track(image_id, payload)?;
         self.state = DriveState::Loaded(SpinState::Active);
@@ -263,12 +352,45 @@ impl OpticalDrive {
     }
 
     /// Instantaneous power draw by state (§5.1: 8 W peak per drive).
+    ///
+    /// A dead drive draws its sleep floor: the controller cuts its rail.
     pub fn power_watts(&self) -> f64 {
+        if self.dead {
+            return params::DRIVE_SLEEP_WATTS;
+        }
         match self.state {
             DriveState::Empty => params::DRIVE_SLEEP_WATTS,
             DriveState::Loaded(SpinState::Sleeping) => params::DRIVE_SLEEP_WATTS,
             DriveState::Loaded(SpinState::Active) => params::DRIVE_IDLE_WATTS,
             DriveState::Burning => params::DRIVE_PEAK_WATTS,
+        }
+    }
+}
+
+/// The drive accepts drive-level fault kinds. Targeting coordinates
+/// (`bay`, `drive`) are the *router's* concern: by the time an event
+/// reaches a concrete drive it applies unconditionally.
+impl ros_faults::FaultSink for OpticalDrive {
+    fn inject_fault(&mut self, event: &ros_faults::FaultEvent) -> ros_faults::InjectionOutcome {
+        use ros_faults::{FaultKind, InjectionOutcome};
+        match &event.kind {
+            FaultKind::DriveTransientReads { count, .. } => {
+                self.inject_transient_reads(*count);
+                InjectionOutcome::Injected
+            }
+            FaultKind::DriveBurnFaults { count, .. } => {
+                self.inject_burn_faults(*count);
+                InjectionOutcome::Injected
+            }
+            FaultKind::DriveDeath { .. } => {
+                if self.dead {
+                    InjectionOutcome::Skipped(format!("drive {} already dead", self.id))
+                } else {
+                    self.kill();
+                    InjectionOutcome::Injected
+                }
+            }
+            _ => InjectionOutcome::NotApplicable,
         }
     }
 }
@@ -412,6 +534,82 @@ mod tests {
         fast.insert(small_disc(2)).unwrap();
         let plan_fast = fast.plan_burn(1 << 20, &mut rng).unwrap();
         assert!(plan.total > plan_fast.total);
+    }
+
+    #[test]
+    fn transient_read_faults_fail_then_recover() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        dr.insert(burned_disc(1, 7, 4096)).unwrap();
+        dr.inject_transient_reads(2);
+        assert!(matches!(
+            dr.read_image(7).unwrap_err(),
+            DriveError::TransientRead
+        ));
+        assert!(matches!(
+            dr.read_image(7).unwrap_err(),
+            DriveError::TransientRead
+        ));
+        assert_eq!(dr.read_image(7).unwrap().payload.len(), 4096);
+    }
+
+    #[test]
+    fn burn_fault_spoils_one_burn_and_unblocks_the_drive() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        dr.insert(small_disc(1)).unwrap();
+        dr.inject_burn_faults(1);
+        dr.begin_burn().unwrap();
+        assert!(matches!(
+            dr.finish_burn(3, Payload::inline(vec![1u8; 512]))
+                .unwrap_err(),
+            DriveError::BurnFailed
+        ));
+        // The drive is loaded again, so the spoiled disc can be ejected.
+        assert!(dr.is_idle_loaded());
+        assert!(dr.eject().is_ok());
+    }
+
+    #[test]
+    fn dead_drive_refuses_io_but_allows_evacuation() {
+        let mut dr = OpticalDrive::new(0, 1.0);
+        dr.insert(burned_disc(1, 7, 1024)).unwrap();
+        dr.kill();
+        assert!(dr.is_dead());
+        assert!(matches!(dr.read_image(7).unwrap_err(), DriveError::Failed));
+        assert!(matches!(dr.begin_burn().unwrap_err(), DriveError::Failed));
+        assert_eq!(dr.power_watts(), params::DRIVE_SLEEP_WATTS);
+        let (disc, _) = dr.eject().unwrap();
+        assert_eq!(disc.id, 1);
+    }
+
+    #[test]
+    fn fault_sink_routes_drive_kinds() {
+        use ros_faults::{FaultEvent, FaultKind, FaultSink, InjectionOutcome};
+        let mut dr = OpticalDrive::new(3, 1.0);
+        let ev = |kind: FaultKind| FaultEvent {
+            seq: 0,
+            at_op: 0,
+            kind,
+        };
+        assert_eq!(
+            dr.inject_fault(&ev(FaultKind::DriveTransientReads {
+                bay: 0,
+                drive: 3,
+                count: 2
+            })),
+            InjectionOutcome::Injected
+        );
+        assert_eq!(
+            dr.inject_fault(&ev(FaultKind::MechTransient { count: 1 })),
+            InjectionOutcome::NotApplicable
+        );
+        assert_eq!(
+            dr.inject_fault(&ev(FaultKind::DriveDeath { bay: 0, drive: 3 })),
+            InjectionOutcome::Injected
+        );
+        assert!(matches!(
+            dr.inject_fault(&ev(FaultKind::DriveDeath { bay: 0, drive: 3 })),
+            InjectionOutcome::Skipped(_)
+        ));
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Deterministic cross-layer fault injection for ROS.
+//!
+//! Long-term preservation systems die from *correlated, repeated* faults
+//! — scratched media plus a servo failure plus a rack outage in the same
+//! week — not from single clean failures. This crate supplies the
+//! machinery to exercise exactly those scenarios reproducibly:
+//!
+//! - [`plan::FaultPlan`]: a seeded schedule of typed fault events
+//!   spanning every layer of the stack — drive read/burn errors and
+//!   drive death (`ros-drive`), mechanical load/unload faults
+//!   (`ros-mech`), SSD member loss and RAID-degraded mode (`ros-disk`),
+//!   media sector corruption, and rack outage / slow-rack
+//!   (`ros-cluster`). Plans are generated via `SimRng::fork`, so the
+//!   same seed always yields the identical event sequence.
+//! - [`plan::FaultSink`]: the small trait each layer implements to
+//!   accept events through its *existing* failure hooks (sector
+//!   corruption, RAID member failure, rack kill, ...).
+//! - [`retry::RetryPolicy`]: bounded retries with exponential backoff,
+//!   plus the [`retry::Transience`] classification that separates
+//!   retryable faults from hard, typed degraded-mode results.
+//!
+//! The crate deliberately depends only on `ros-sim`: every other layer
+//! depends on it, implements [`plan::FaultSink`], and keeps its fault
+//! hooks private to the mechanism that already modelled them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod retry;
+
+pub use plan::{
+    FaultEvent, FaultKind, FaultPlan, FaultSink, FaultSpec, InjectionOutcome, VolumeTarget,
+};
+pub use retry::{RetryPolicy, RetryStats, Transience};

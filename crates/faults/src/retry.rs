@@ -1,0 +1,129 @@
+//! Bounded retry with exponential backoff, and fault transience.
+//!
+//! The supervision layers in `ros-olfs` and `ros-cluster` wrap their
+//! foreground operations in a retry loop driven by a [`RetryPolicy`]:
+//! transient faults (servo glitches, mechanical misfeeds, a rack that is
+//! momentarily overloaded) are retried after an exponentially growing
+//! simulated backoff; hard faults and exhausted budgets surface as
+//! typed degraded-mode errors — never a panic, never a silent success.
+
+use ros_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Classifies an error as retryable or hard.
+///
+/// Implemented by each layer's error type; the supervision loops only
+/// retry errors whose `is_transient()` is true.
+pub trait Transience {
+    /// True if a bounded retry with backoff may succeed.
+    fn is_transient(&self) -> bool;
+}
+
+/// A bounded exponential-backoff retry policy.
+///
+/// Attempt `n` (1-based) that fails transiently waits
+/// `min(base_backoff * 2^(n-1), max_backoff)` of simulated time before
+/// attempt `n+1`, up to `max_attempts` total attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed (including the first); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt.
+    pub base_backoff: SimDuration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::ZERO,
+        }
+    }
+
+    /// True if another attempt is allowed after `attempts` tries.
+    pub fn should_retry(&self, attempts: u32) -> bool {
+        attempts < self.max_attempts.max(1)
+    }
+
+    /// Backoff to charge after failed attempt number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let scaled = self.base_backoff * (1u64 << exp);
+        scaled.min(self.max_backoff)
+    }
+}
+
+/// What a supervised operation spent on retries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryStats {
+    /// Attempts performed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total simulated backoff charged between attempts.
+    pub backoff_total: SimDuration,
+}
+
+impl RetryStats {
+    /// Stats for an operation that has not run yet.
+    pub fn new() -> Self {
+        RetryStats {
+            attempts: 0,
+            backoff_total: SimDuration::ZERO,
+        }
+    }
+
+    /// Records one backoff period before a retry.
+    pub fn note_backoff(&mut self, d: SimDuration) {
+        self.backoff_total += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(35),
+        };
+        assert_eq!(p.backoff(1), SimDuration::from_millis(10));
+        assert_eq!(p.backoff(2), SimDuration::from_millis(20));
+        assert_eq!(p.backoff(3), SimDuration::from_millis(35), "capped");
+        assert_eq!(p.backoff(9), SimDuration::from_millis(35));
+    }
+
+    #[test]
+    fn attempt_budget_is_bounded() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(3));
+        assert!(!p.should_retry(4));
+        let none = RetryPolicy::none();
+        assert!(!none.should_retry(1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = RetryStats::new();
+        s.attempts = 3;
+        s.note_backoff(SimDuration::from_millis(10));
+        s.note_backoff(SimDuration::from_millis(20));
+        assert_eq!(s.backoff_total, SimDuration::from_millis(30));
+    }
+}

@@ -57,6 +57,9 @@ pub enum MechError {
     BayOccupied(usize),
     /// Unload requested from an empty bay.
     BayEmpty(usize),
+    /// A transient mechanical misfeed (latch slip, sensor glitch); the
+    /// same operation is expected to succeed on retry.
+    Transient(OpKind),
 }
 
 impl From<PlcError> for MechError {
@@ -72,6 +75,7 @@ impl core::fmt::Display for MechError {
             MechError::NoSuchBay(b) => write!(f, "no such drive bay {b}"),
             MechError::BayOccupied(b) => write!(f, "drive bay {b} is occupied"),
             MechError::BayEmpty(b) => write!(f, "drive bay {b} is empty"),
+            MechError::Transient(k) => write!(f, "transient mechanical misfeed during {k:?}"),
         }
     }
 }
@@ -87,6 +91,9 @@ pub struct MechScheduler {
     bays: Vec<Option<SlotAddress>>,
     /// Overlap roller/arm movements (§3.2). Disable for the ablation bench.
     pub parallel_scheduling: bool,
+    /// Armed transient misfeeds: each pending fault spoils the next
+    /// composite operation with [`MechError::Transient`].
+    pending_faults: u32,
 }
 
 impl MechScheduler {
@@ -97,7 +104,23 @@ impl MechScheduler {
             plc,
             bays: vec![None; bays],
             parallel_scheduling: true,
+            pending_faults: 0,
         }
+    }
+
+    /// Arms `n` transient misfeeds: each spoils one upcoming composite
+    /// operation, which leaves the machine idle and retryable.
+    pub fn inject_transient_faults(&mut self, n: u32) {
+        self.pending_faults = self.pending_faults.saturating_add(n);
+    }
+
+    /// Consumes one armed misfeed, if any, failing the operation `kind`.
+    fn take_transient_fault(&mut self, kind: OpKind) -> Result<(), MechError> {
+        if self.pending_faults > 0 {
+            self.pending_faults -= 1;
+            return Err(MechError::Transient(kind));
+        }
+        Ok(())
     }
 
     /// Immutable access to the PLC (e.g. for occupancy queries).
@@ -132,6 +155,7 @@ impl MechScheduler {
             Some(Some(_)) => return Err(MechError::BayOccupied(bay)),
             Some(None) => {}
         }
+        self.take_transient_fault(OpKind::LoadArray)?;
         let roller = slot.roller;
         let mut steps: Vec<(String, SimDuration)> = Vec::new();
         let mut overlapped = SimDuration::ZERO;
@@ -197,6 +221,7 @@ impl MechScheduler {
             Some(None) => return Err(MechError::BayEmpty(bay)),
             Some(Some(s)) => *s,
         };
+        self.take_transient_fault(OpKind::UnloadArray)?;
         let roller = slot.roller;
         let discs = self.plc.layout().discs_per_tray;
         let mut steps: Vec<(String, SimDuration)> = Vec::new();
@@ -259,6 +284,21 @@ impl MechScheduler {
             duration,
             steps,
             energy_joules,
+        }
+    }
+}
+
+/// The scheduler accepts mechanical fault kinds; everything else is for
+/// another layer.
+impl ros_faults::FaultSink for MechScheduler {
+    fn inject_fault(&mut self, event: &ros_faults::FaultEvent) -> ros_faults::InjectionOutcome {
+        use ros_faults::{FaultKind, InjectionOutcome};
+        match &event.kind {
+            FaultKind::MechTransient { count } => {
+                self.inject_transient_faults(*count);
+                InjectionOutcome::Injected
+            }
+            _ => InjectionOutcome::NotApplicable,
         }
     }
 }
@@ -377,6 +417,49 @@ mod tests {
         let sum: SimDuration = op.steps.iter().map(|(_, d)| *d).sum();
         assert_eq!(sum, op.duration);
         assert!(op.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn transient_fault_spoils_one_op_then_clears() {
+        let mut s = sched();
+        let slot = SlotAddress::new(0, 0, 0);
+        s.inject_transient_faults(1);
+        assert_eq!(
+            s.load_array(slot, 0).unwrap_err(),
+            MechError::Transient(OpKind::LoadArray)
+        );
+        // The misfeed left the machine idle: the bay is still free and the
+        // very same request succeeds on retry.
+        assert_eq!(s.bay_contents(0).unwrap(), None);
+        s.load_array(slot, 0).unwrap();
+        s.inject_transient_faults(1);
+        assert_eq!(
+            s.unload_array(0).unwrap_err(),
+            MechError::Transient(OpKind::UnloadArray)
+        );
+        assert_eq!(s.bay_contents(0).unwrap(), Some(slot));
+        s.unload_array(0).unwrap();
+    }
+
+    #[test]
+    fn fault_sink_arms_mech_transients_only() {
+        use ros_faults::{FaultEvent, FaultKind, FaultSink, InjectionOutcome};
+        let mut s = sched();
+        let armed = s.inject_fault(&FaultEvent {
+            seq: 0,
+            at_op: 0,
+            kind: FaultKind::MechTransient { count: 2 },
+        });
+        assert_eq!(armed, InjectionOutcome::Injected);
+        let other = s.inject_fault(&FaultEvent {
+            seq: 1,
+            at_op: 0,
+            kind: FaultKind::DriveDeath { bay: 0, drive: 0 },
+        });
+        assert_eq!(other, InjectionOutcome::NotApplicable);
+        assert!(s.load_array(SlotAddress::new(0, 0, 0), 0).is_err());
+        assert!(s.load_array(SlotAddress::new(0, 0, 0), 0).is_err());
+        assert!(s.load_array(SlotAddress::new(0, 0, 0), 0).is_ok());
     }
 
     #[test]

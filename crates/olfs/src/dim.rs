@@ -171,6 +171,15 @@ impl ImageStore {
     /// Returns the group that became *complete* (reached `data_per_array`
     /// data images), if any — the trigger for delayed parity generation.
     pub fn register_sealed(&mut self, sealed: SealedImage, data_per_array: u32) -> Option<ArrayId> {
+        let gid = match self.collecting {
+            Some(g) => g,
+            None => {
+                let g = ArrayId(self.next_group);
+                self.next_group += 1;
+                self.collecting = Some(g);
+                g
+            }
+        };
         let id = ImageId(sealed.image_id());
         let payload = sealed.bytes().clone();
         let info = ImageInfo {
@@ -181,34 +190,17 @@ impl ImageStore {
             sealed: Some(sealed),
             payload: Some(payload),
             burned: None,
-            array: None,
+            array: Some(gid),
         };
         self.images.insert(id, info);
-
-        let gid = match self.collecting {
-            Some(g) => g,
-            None => {
-                let g = ArrayId(self.next_group);
-                self.next_group += 1;
-                self.groups.insert(
-                    g,
-                    ArrayGroup {
-                        id: g,
-                        data: Vec::new(),
-                        parity: Vec::new(),
-                        state: GroupState::Collecting,
-                        slot: None,
-                    },
-                );
-                self.collecting = Some(g);
-                g
-            }
-        };
-        // ros-analysis: allow(L2, gid is either the live collecting group or was inserted just above)
-        let group = self.groups.get_mut(&gid).expect("collecting group exists");
+        let group = self.groups.entry(gid).or_insert_with(|| ArrayGroup {
+            id: gid,
+            data: Vec::new(),
+            parity: Vec::new(),
+            state: GroupState::Collecting,
+            slot: None,
+        });
         group.data.push(id);
-        // ros-analysis: allow(L2, the caller inserted this image earlier in register_data)
-        self.images.get_mut(&id).expect("just inserted").array = Some(gid);
         if group.data.len() as u32 >= data_per_array {
             group.state = GroupState::ParityPending;
             self.collecting = None;

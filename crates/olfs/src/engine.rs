@@ -133,6 +133,9 @@ pub struct Counters {
     pub burn_interrupts: u64,
     /// Damaged images repaired via array redundancy (§4.7).
     pub repairs: u64,
+    /// Spoiled burns retried onto a spare tray (the ruined write-once
+    /// tray is retired as Failed).
+    pub reburns: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -181,6 +184,11 @@ pub struct Ros {
     /// Versions whose bytes were physically overwritten by a later
     /// in-place bucket update (§4.6) and can no longer be read.
     pub(crate) overwritten: HashSet<(String, u32)>,
+    /// Bays taken out of rotation after persistent drive failures; the
+    /// burn starter and fetch paths route around them until serviced.
+    quarantined_bays: HashSet<usize>,
+    /// Consecutive spoiled burns per bay; two in a row quarantines.
+    bay_burn_failures: HashMap<usize, u32>,
 }
 
 impl Ros {
@@ -188,10 +196,16 @@ impl Ros {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails [`RosConfig::validate`].
+    /// Panics if the configuration fails [`RosConfig::validate`]; use
+    /// [`Ros::try_new`] to handle an invalid configuration as a value.
     pub fn new(cfg: RosConfig) -> Self {
         // ros-analysis: allow(L2, documented constructor contract: see the # Panics section)
-        cfg.validate().expect("invalid RosConfig");
+        Self::try_new(cfg).expect("invalid RosConfig")
+    }
+
+    /// Builds a ROS system, surfacing configuration errors as values.
+    pub fn try_new(cfg: RosConfig) -> Result<Self, OlfsError> {
+        cfg.validate()?;
         let mut vm = VolumeManager::new();
         let vol_mv = vm.add_volume("mv", RaidArray::prototype_metadata());
         let vol_buffer = vm.add_volume("buffer", RaidArray::prototype_data());
@@ -220,7 +234,7 @@ impl Ros {
         if let Some(interval) = cfg.scrub_interval {
             queue.schedule_in(interval, Event::ScrubTick);
         }
-        Ros {
+        Ok(Ros {
             queue,
             rng,
             mech,
@@ -245,8 +259,10 @@ impl Ros {
             last_scrub: None,
             drive_last_used: HashMap::new(),
             overwritten: HashSet::new(),
+            quarantined_bays: HashSet::new(),
+            bay_burn_failures: HashMap::new(),
             cfg,
-        }
+        })
     }
 
     /// Returns the configuration.
@@ -301,6 +317,18 @@ impl Ros {
             }
         }
         !self.has_pending_work()
+    }
+
+    /// Outstanding background work, for operator diagnostics when a
+    /// flush will not quiesce: `(burns_in_flight, burns_queued,
+    /// parity_pending_groups, ready_to_burn_groups)`.
+    pub fn pending_work(&self) -> (usize, usize, usize, usize) {
+        (
+            self.burning.len(),
+            self.burn_queue.len(),
+            self.store.groups_in_state(GroupState::ParityPending).len(),
+            self.store.groups_in_state(GroupState::ReadyToBurn).len(),
+        )
     }
 
     /// True while burns are in flight or queued, or parity generation is
@@ -857,10 +885,25 @@ impl Ros {
     }
 
     /// Starts queued burns while a bay and a target tray are available.
+    ///
+    /// Re-entrancy: picking a bay may unload an idle one, which advances
+    /// the simulated clock and delivers queued events (`ParityDone`,
+    /// `BurnDone`) that call back into this function. The bay is
+    /// therefore reserved *first*, and the group/tray choice is resolved
+    /// only afterwards — a stale front-of-queue peek taken before the
+    /// pick could pop (and silently drop) a group the re-entrant pass
+    /// had already dispatched elsewhere.
     pub(crate) fn try_start_burns(&mut self) {
         loop {
-            let Some(&gid) = self.burn_queue.front() else {
+            if self.burn_queue.is_empty() {
                 return;
+            }
+            let Some(bay) = self.pick_bay_for_burn() else {
+                return; // All bays busy or reserved.
+            };
+            let Some(&gid) = self.burn_queue.front() else {
+                self.reserved_bays.remove(&bay);
+                return; // A re-entrant pass drained the queue meanwhile.
             };
             let append = self.append_groups.contains(&gid);
             let slot = if append {
@@ -869,18 +912,37 @@ impl Ros {
                 self.store.first_empty_slot(&self.cfg.layout)
             };
             let Some(slot) = slot else {
+                self.reserved_bays.remove(&bay);
                 return; // Out of empty trays.
             };
-            let Some(bay) = self.pick_bay_for_burn() else {
-                return; // All bays busy or reserved.
-            };
+            // Book the tray before the mechanical load: start_burn's own
+            // clock advances re-enter too, and a concurrent pass must not
+            // double-book the same empty tray.
+            let idx = self.cfg.layout.slot_index(slot);
+            if !append {
+                self.store.set_da_state(idx, DaState::Used);
+            }
             self.burn_queue.pop_front();
             let append = self.append_groups.remove(&gid);
             let result = self.start_burn(gid, bay, slot, append);
             self.reserved_bays.remove(&bay);
-            if result.is_err() {
-                let idx = self.cfg.layout.slot_index(slot);
-                self.store.set_da_state(idx, DaState::Failed);
+            if let Err(e) = result {
+                // A transient mechanical misfeed leaves the tray intact
+                // for the next attempt; anything else ruins the
+                // write-once tray, and repeated ruin in the same bay
+                // means the hardware (not the media) is at fault.
+                if matches!(e, OlfsError::Transient(_)) {
+                    if !append {
+                        self.store.set_da_state(idx, DaState::Empty);
+                    }
+                } else {
+                    self.store.set_da_state(idx, DaState::Failed);
+                    let failures = self.bay_burn_failures.entry(bay).or_insert(0);
+                    *failures += 1;
+                    if *failures >= 2 {
+                        self.quarantine_bay(bay);
+                    }
+                }
                 self.burn_queue.push_front(gid);
                 if append {
                     self.append_groups.insert(gid);
@@ -895,7 +957,10 @@ impl Ros {
     /// the burn is registered (or failed).
     fn pick_bay_for_burn(&mut self) -> Option<usize> {
         for bay in 0..self.bays.len() {
-            if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
+            if self.burning.contains_key(&bay)
+                || self.reserved_bays.contains(&bay)
+                || self.quarantined_bays.contains(&bay)
+            {
                 continue;
             }
             if matches!(self.mech.bay_contents(bay), Ok(None)) {
@@ -904,7 +969,10 @@ impl Ros {
             }
         }
         for bay in 0..self.bays.len() {
-            if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
+            if self.burning.contains_key(&bay)
+                || self.reserved_bays.contains(&bay)
+                || self.quarantined_bays.contains(&bay)
+            {
                 continue;
             }
             if matches!(self.mech.bay_contents(bay), Ok(Some(_))) {
@@ -1007,10 +1075,22 @@ impl Ros {
         let mut format_extra = SimDuration::ZERO;
         for (i, &size) in sizes.iter().enumerate() {
             if size > 0 {
-                self.bays[bay]
+                let begun = self.bays[bay]
                     .drive_mut(i)
                     .ok_or_else(|| OlfsError::BadState(format!("no drive {i} in bay {bay}")))?
-                    .begin_burn()?;
+                    .begin_burn();
+                if let Err(e) = begun {
+                    // Release the siblings already switched to Burning so
+                    // the array stays evacuable.
+                    for (j, &s) in sizes.iter().enumerate().take(i) {
+                        if s > 0 {
+                            if let Some(d) = self.bays[bay].drive_mut(j) {
+                                let _ = d.interrupt_burn(all_images.get(j).map_or(0, |x| x.0), 0);
+                            }
+                        }
+                    }
+                    return Err(e.into());
+                }
                 if append {
                     // Appending re-burn pays the metadata-zone formatting
                     // (§2.1: "takes tens of seconds to format").
@@ -1064,6 +1144,9 @@ impl Ros {
             .chain(group.parity.iter())
             .copied()
             .collect();
+        // First pass: complete every member's burn, collecting failures
+        // instead of silently marking a partial array as done.
+        let mut spoiled = false;
         for (i, img) in all_images.iter().enumerate() {
             if info.sizes.get(i).copied().unwrap_or(0) == 0 {
                 continue;
@@ -1075,7 +1158,7 @@ impl Ros {
                 .map(Payload::inline)
                 .unwrap_or_else(|| Payload::synthetic(0, 0));
             let Some(drive) = self.bays[bay].drive_mut(i) else {
-                self.store.set_da_state(slot_index, DaState::Failed);
+                spoiled = true;
                 continue;
             };
             let res = if info.append {
@@ -1084,7 +1167,23 @@ impl Ros {
                 drive.finish_burn(img.0, payload)
             };
             if res.is_err() {
-                self.store.set_da_state(slot_index, DaState::Failed);
+                // A media-level failure leaves the drive in the Burning
+                // state; release it so the array can be evacuated.
+                if let Some(d) = self.bays[bay].drive_mut(i) {
+                    if !d.is_idle_loaded() {
+                        let _ = d.interrupt_burn(img.0, 0);
+                    }
+                }
+                spoiled = true;
+            }
+        }
+        if spoiled {
+            self.reburn_group_on_spare(gid, bay, slot_index);
+            return;
+        }
+        // Second pass (all members verified): record the burn locations.
+        for (i, img) in all_images.iter().enumerate() {
+            if info.sizes.get(i).copied().unwrap_or(0) == 0 {
                 continue;
             }
             let disc = tray.get(i).copied().unwrap_or(DiscId(u64::MAX));
@@ -1102,9 +1201,78 @@ impl Ros {
         if let Some(g) = self.store.group_mut(gid) {
             g.state = GroupState::Burned;
         }
+        self.bay_burn_failures.remove(&bay);
         self.counters.burns += 1;
         self.apply_cache_pressure();
         self.try_start_burns();
+    }
+
+    /// A burn came back with spoiled members: the write-once tray is
+    /// ruined. Retire it, evacuate the bay, and re-run the group's
+    /// parity-and-burn pipeline onto a spare tray. Two consecutive
+    /// spoiled burns in the same bay quarantine it (the fault is the
+    /// hardware, not the media).
+    fn reburn_group_on_spare(&mut self, gid: ArrayId, bay: usize, slot_index: u32) {
+        self.store.set_da_state(slot_index, DaState::Failed);
+        // `reset_group_for_rewrite` requires the Burned state; the group
+        // is mid-Burning here, so settle it first.
+        if let Some(g) = self.store.group_mut(gid) {
+            g.state = GroupState::Burned;
+        }
+        let _ = self.store.reset_group_for_rewrite(gid);
+        let _ = self.unload_bay(bay);
+        self.counters.reburns += 1;
+        let failures = self.bay_burn_failures.entry(bay).or_insert(0);
+        *failures += 1;
+        if *failures >= 2 {
+            self.quarantine_bay(bay);
+        }
+        self.schedule_parity(gid);
+    }
+
+    /// Takes `bay` out of rotation: the burn starter and fetch paths
+    /// route around it until [`Ros::service_quarantined_bays`] runs.
+    pub fn quarantine_bay(&mut self, bay: usize) {
+        if bay < self.bays.len() {
+            self.quarantined_bays.insert(bay);
+        }
+    }
+
+    /// Bays currently out of rotation, sorted.
+    pub fn quarantined_bays(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.quarantined_bays.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Services every quarantined bay: evacuates any held array, swaps
+    /// dead or fault-armed drives for fresh units, and returns the bay to
+    /// rotation. Returns the number of bays serviced.
+    pub fn service_quarantined_bays(&mut self) -> usize {
+        // Sorted order: bay-service side effects (ejects, burn restarts)
+        // must replay identically run-to-run.
+        let bays = self.quarantined_bays();
+        let mut serviced = 0;
+        for bay in bays {
+            // Swap the drives first: a wedged (mid-burn) unit would block
+            // the eject the evacuation below needs.
+            for i in 0..self.cfg.drives_per_bay {
+                if let Some(d) = self.bays[bay].drive_mut(i) {
+                    d.service();
+                }
+            }
+            if self.mech.bay_contents(bay).ok().flatten().is_some() && self.unload_bay(bay).is_err()
+            {
+                continue; // Still wedged; try again next service window.
+            }
+            self.bay_burn_failures.remove(&bay);
+            self.quarantined_bays.remove(&bay);
+            serviced += 1;
+        }
+        if serviced > 0 {
+            self.try_start_burns();
+        }
+        serviced
     }
 
     /// Evicts cache overflow: drops disk copies of burned images.
@@ -1413,8 +1581,19 @@ impl Ros {
             .store
             .location_of(image)
             .ok_or(OlfsError::ImageLost(image))?;
+        // A quarantined bay may hold the needed array hostage: evacuate
+        // it (ejects work even on dead drives) so the array can be loaded
+        // into a healthy bay below.
+        let hostage = (0..self.bays.len()).find(|&b| {
+            self.quarantined_bays.contains(&b)
+                && self.mech.bay_contents(b).ok().flatten() == Some(loc.slot)
+        });
+        if let Some(b) = hostage {
+            self.unload_bay(b)?;
+        }
         let holding_bay = (0..self.bays.len()).find(|&b| {
             !self.burning.contains_key(&b)
+                && !self.quarantined_bays.contains(&b)
                 && self.mech.bay_contents(b).ok().flatten() == Some(loc.slot)
         });
 
@@ -1566,6 +1745,19 @@ impl Ros {
                 self.counters.repairs += 1;
                 Ok(())
             }
+            Err(e @ ros_drive::DriveError::TransientRead) => {
+                // A servo recalibration: the retry loop re-reads in place.
+                Err(OlfsError::Transient(e.to_string()))
+            }
+            Err(ros_drive::DriveError::Failed) => {
+                // The drive is gone for good: route around the bay. A
+                // retry re-fetches through a healthy bay (the quarantined
+                // one is evacuated by `fetch_image` first).
+                self.quarantine_bay(bay);
+                Err(OlfsError::Transient(format!(
+                    "drive {pos} in bay {bay} failed; bay quarantined"
+                )))
+            }
             Err(e) => Err(OlfsError::Drive(e.to_string())),
         }
     }
@@ -1578,7 +1770,10 @@ impl Ros {
         for _round in 0..64 {
             // A free, unreserved, non-burning bay?
             for bay in 0..self.bays.len() {
-                if self.burning.contains_key(&bay) || self.reserved_bays.contains(&bay) {
+                if self.burning.contains_key(&bay)
+                    || self.reserved_bays.contains(&bay)
+                    || self.quarantined_bays.contains(&bay)
+                {
                     continue;
                 }
                 if matches!(self.mech.bay_contents(bay), Ok(None)) {
@@ -1590,6 +1785,7 @@ impl Ros {
             let idle = (0..self.bays.len()).find(|b| {
                 !self.burning.contains_key(b)
                     && !self.reserved_bays.contains(b)
+                    && !self.quarantined_bays.contains(b)
                     && matches!(self.mech.bay_contents(*b), Ok(Some(_)))
             });
             if let Some(bay) = idle {
@@ -1742,6 +1938,15 @@ impl Ros {
         self.advance(io);
         if let Some(gid) = self.store.force_close_collecting() {
             self.schedule_parity(gid);
+        }
+        // Reconcile before draining: a `ReadyToBurn` group that is
+        // neither queued nor burning is unreachable by the burn starter
+        // and would keep the system pending forever (same recovery the
+        // crash-restart path performs).
+        for gid in self.store.groups_in_state(GroupState::ReadyToBurn) {
+            if !self.burn_queue.contains(&gid) && !self.burning.values().any(|b| b.group == gid) {
+                self.burn_queue.push_back(gid);
+            }
         }
         let ok = self.run_until_quiescent(SimDuration::from_secs(3600 * 24 * 30));
         if ok {
@@ -2083,6 +2288,35 @@ mod tests {
             OlfsError::NotFound(_)
         ));
         assert!(r.write_file(&p("/"), vec![]).is_err());
+    }
+
+    #[test]
+    fn flush_requeues_an_orphaned_ready_to_burn_group() {
+        let mut r = ros();
+        r.write_file(&p("/orphan/f"), vec![7u8; 200_000]).unwrap();
+        for b in 0..r.wbm.len() {
+            r.seal_bucket(b).unwrap();
+        }
+        if let Some(gid) = r.store.force_close_collecting() {
+            r.schedule_parity(gid);
+        }
+        // Hold the burn back so the group parks in ReadyToBurn, then
+        // drop it from the queue — the state an event-interleaving bug
+        // (or a crash at the wrong moment) leaves behind: ReadyToBurn,
+        // not queued, not burning, unreachable by the burn starter.
+        r.quarantine_bay(0);
+        assert!(!r.run_until_quiescent(SimDuration::from_secs(3600)));
+        assert!(
+            !r.store.groups_in_state(GroupState::ReadyToBurn).is_empty(),
+            "the group must be parked ReadyToBurn behind the quarantine"
+        );
+        r.burn_queue.clear();
+        assert_eq!(r.service_quarantined_bays(), 1);
+        // Without the flush-side reconcile the orphan keeps
+        // has_pending_work() true forever and this fails to quiesce.
+        r.flush().unwrap();
+        assert!(r.store.groups_in_state(GroupState::ReadyToBurn).is_empty());
+        assert_eq!(r.read_file(&p("/orphan/f")).unwrap().data.len(), 200_000);
     }
 
     #[test]

@@ -56,6 +56,19 @@ pub enum OlfsError {
     Udf(String),
     /// System is in a state that forbids the operation.
     BadState(String),
+    /// A transient fault (servo glitch, mechanical misfeed, drive being
+    /// rerouted around); the same operation may succeed on retry.
+    Transient(String),
+    /// A supervised operation ran out of retry budget; `last` is the
+    /// transient error from the final attempt.
+    RetriesExhausted {
+        /// The supervised operation ("read", "write", ...).
+        op: String,
+        /// Attempts performed before giving up.
+        attempts: u32,
+        /// The last transient failure.
+        last: Box<OlfsError>,
+    },
 }
 
 impl core::fmt::Display for OlfsError {
@@ -80,6 +93,10 @@ impl core::fmt::Display for OlfsError {
             OlfsError::Media { disc, detail } => write!(f, "disc {disc}: {detail}"),
             OlfsError::Udf(m) => write!(f, "udf: {m}"),
             OlfsError::BadState(m) => write!(f, "bad state: {m}"),
+            OlfsError::Transient(m) => write!(f, "transient: {m}"),
+            OlfsError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "{op} failed after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -88,13 +105,27 @@ impl std::error::Error for OlfsError {}
 
 impl From<MechError> for OlfsError {
     fn from(e: MechError) -> Self {
-        OlfsError::Mech(e.to_string())
+        match e {
+            MechError::Transient(_) => OlfsError::Transient(e.to_string()),
+            other => OlfsError::Mech(other.to_string()),
+        }
     }
 }
 
 impl From<DriveError> for OlfsError {
     fn from(e: DriveError) -> Self {
-        OlfsError::Drive(e.to_string())
+        match e {
+            DriveError::TransientRead => OlfsError::Transient(e.to_string()),
+            other => OlfsError::Drive(other.to_string()),
+        }
+    }
+}
+
+/// Only [`OlfsError::Transient`] is worth a bounded retry; everything
+/// else is either a hard fault or a semantic error.
+impl ros_faults::Transience for OlfsError {
+    fn is_transient(&self) -> bool {
+        matches!(self, OlfsError::Transient(_))
     }
 }
 

@@ -44,6 +44,7 @@ pub mod params;
 pub mod posix;
 pub mod recovery;
 pub mod redundancy;
+pub mod supervise;
 pub mod trace;
 pub mod wbm;
 

@@ -325,6 +325,18 @@ impl Ros {
         Ok(repaired)
     }
 
+    /// Like [`Ros::repair_damaged`], but rides out transient mechanical
+    /// and drive faults under `policy`. Repair fetches are idempotent
+    /// (already-repaired images short-circuit on the healthy buffer
+    /// copy), so a retried pass only redoes the work that failed.
+    pub fn repair_damaged_supervised(
+        &mut self,
+        report: &ScrubReport,
+        policy: &ros_faults::RetryPolicy,
+    ) -> Result<(Vec<ImageId>, ros_faults::RetryStats), OlfsError> {
+        self.supervised("repair", policy, |ros| ros.repair_damaged(report))
+    }
+
     pub(crate) fn fetch_for_repair(&mut self, image: ImageId) -> Result<(), OlfsError> {
         // Reuse the read path: reading any of the image's files forces
         // the fetch + repair. Read via the image's recorded paths.

@@ -17,6 +17,7 @@
 use crate::engine::Ros;
 use crate::error::OlfsError;
 use bytes::Bytes;
+use ros_faults::RetryPolicy;
 use ros_udf::UdfPath;
 use std::collections::HashMap;
 
@@ -103,6 +104,10 @@ pub struct PosixFs {
     ros: Ros,
     next_fd: u64,
     handles: HashMap<Fd, Handle>,
+    /// Retry policy applied to the whole-file transfers behind `open`
+    /// (append/read seeding) and `close` (version commit). Defaults to
+    /// no retries: transient faults surface immediately.
+    retry_policy: RetryPolicy,
 }
 
 impl PosixFs {
@@ -112,7 +117,18 @@ impl PosixFs {
             ros,
             next_fd: 3, // 0-2 are traditionally taken.
             handles: HashMap::new(),
+            retry_policy: RetryPolicy::none(),
         }
+    }
+
+    /// Sets the retry policy for descriptor-level commits and seeds.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry_policy
     }
 
     /// Access to the engine.
@@ -149,7 +165,8 @@ impl PosixFs {
         let mut cursor = 0;
         if flags.write {
             let seed: Vec<u8> = if exists && !flags.truncate {
-                self.ros.read_file(path)?.data.to_vec()
+                let (report, _) = self.ros.read_file_supervised(path, &self.retry_policy)?;
+                report.data.to_vec()
             } else {
                 Vec::new()
             };
@@ -289,7 +306,9 @@ impl PosixFs {
                     "writable handle lost its buffer".into(),
                 ));
             };
-            let report = self.ros.write_file(&h.path, buffer)?;
+            let (report, _) =
+                self.ros
+                    .write_file_supervised(&h.path, buffer.into(), &self.retry_policy)?;
             return Ok(Some(report.version));
         }
         Ok(None)
@@ -480,6 +499,31 @@ mod tests {
             1,
             "only the overlapping segment may be fetched"
         );
+    }
+
+    #[test]
+    fn retry_policy_rides_out_transient_faults_on_reopen() {
+        use ros_faults::{FaultEvent, FaultKind, FaultSink};
+        let mut fs = fs();
+        fs.set_retry_policy(RetryPolicy::default());
+        let fd = fs.open(&p("/rp"), OpenFlags::create_truncate()).unwrap();
+        fs.write(fd, b"survivor").unwrap();
+        fs.close(fd).unwrap();
+        fs.ros_mut().flush().unwrap();
+        fs.ros_mut().evict_burned_copies();
+        fs.ros_mut().unload_all_bays().unwrap();
+        // The append-seed fetch hits a one-shot mechanical misfeed; the
+        // descriptor-level retry policy absorbs it.
+        fs.ros_mut().inject_fault(&FaultEvent {
+            seq: 0,
+            at_op: 0,
+            kind: FaultKind::MechTransient { count: 1 },
+        });
+        let fd = fs.open(&p("/rp"), OpenFlags::append()).unwrap();
+        fs.write(fd, b"!").unwrap();
+        fs.close(fd).unwrap();
+        let fd = fs.open(&p("/rp"), OpenFlags::read_only()).unwrap();
+        assert_eq!(fs.read(fd, 100).unwrap().as_ref(), b"survivor!");
     }
 
     #[test]

@@ -179,6 +179,18 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize_value).collect())
