@@ -1,0 +1,89 @@
+//! Criterion microbenches for the GF(256) parity kernels: P (word-sliced
+//! XOR), Q (per-generator split tables), the fused P+Q encode, two-stripe
+//! reconstruction and the no-allocation verify sweep — each at 1 thread
+//! and on a 4-thread data plane, plus the scalar shift-and-add Q as the
+//! pre-table contrast. Companion to the `repro perf` parity section,
+//! which gates the table-vs-scalar cost ratios; this harness gives the
+//! richer interactive Criterion view.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ros_disk::parity::{self, gf_mul_scalar, gf_pow2};
+use ros_disk::DataPlane;
+use std::hint::black_box;
+
+const STRIPES: usize = 10;
+const STRIPE_LEN: usize = 256 * 1024;
+
+/// Deterministic splitmix-style byte stream.
+fn next_id(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^ (z >> 31)
+}
+
+fn corpus() -> Vec<Vec<u8>> {
+    let mut state = 0xC0FF_EE00_5EED_u64;
+    (0..STRIPES)
+        .map(|_| {
+            let mut stripe = vec![0u8; STRIPE_LEN];
+            for chunk in stripe.chunks_mut(8) {
+                let word = next_id(&mut state).to_le_bytes();
+                for (dst, src) in chunk.iter_mut().zip(word.iter()) {
+                    *dst = *src;
+                }
+            }
+            stripe
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let data = corpus();
+    let refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+    let planes = [("1t", DataPlane::new(1)), ("4t", DataPlane::new(4))];
+
+    c.bench_function("parity/q_scalar_reference", |b| {
+        b.iter(|| {
+            let mut q = vec![0u8; STRIPE_LEN];
+            for (i, stripe) in refs.iter().enumerate() {
+                let g = gf_pow2(i);
+                for (dst, src) in q.iter_mut().zip(stripe.iter()) {
+                    *dst ^= gf_mul_scalar(g, *src);
+                }
+            }
+            black_box(q)
+        })
+    });
+
+    for (tag, plane) in &planes {
+        c.bench_function(&format!("parity/p_{tag}"), |b| {
+            b.iter(|| black_box(parity::parity_p_with(&refs, plane).ok()))
+        });
+        c.bench_function(&format!("parity/q_{tag}"), |b| {
+            b.iter(|| black_box(parity::parity_q_with(&refs, plane).ok()))
+        });
+        c.bench_function(&format!("parity/encode_pq_{tag}"), |b| {
+            b.iter(|| black_box(parity::encode_pq_with(&refs, plane).ok()))
+        });
+    }
+
+    if let Ok((p, q)) = parity::encode_pq(&refs) {
+        let mut lossy: Vec<Option<&[u8]>> = refs.iter().map(|s| Some(*s)).collect();
+        lossy[2] = None;
+        lossy[STRIPES - 3] = None;
+        for (tag, plane) in &planes {
+            c.bench_function(&format!("parity/reconstruct2_{tag}"), |b| {
+                b.iter(|| {
+                    black_box(parity::reconstruct_pq_with(&lossy, Some(&p), Some(&q), plane).ok())
+                })
+            });
+            c.bench_function(&format!("parity/verify_{tag}"), |b| {
+                b.iter(|| black_box(parity::verify_group_with(&refs, &p, Some(&q), plane).ok()))
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -361,12 +361,23 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
         max_attempts: 6,
         ..RetryPolicy::default()
     };
-    for (path_str, size) in &acked {
-        let path: ros_udf::UdfPath = path_str
-            .parse()
-            .map_err(|_| err(format!("tracked path invalid: {path_str}")))?;
-        match cluster.read_file_supervised(&path, &sweep_policy) {
-            Ok((r, _)) if r.data.as_ref() == synth_data(&path, *size).as_slice() => {
+    // Regenerate the expected payloads on the data plane (synth_data is
+    // pure and CPU-bound), then read-compare in acked path order so the
+    // sweep result is identical at any thread count.
+    let entries: Vec<(String, ros_udf::UdfPath, u64)> = acked
+        .iter()
+        .map(|(path_str, size)| {
+            let path: ros_udf::UdfPath = path_str
+                .parse()
+                .map_err(|_| err(format!("tracked path invalid: {path_str}")))?;
+            Ok((path_str.clone(), path, *size))
+        })
+        .collect::<Result<_, BenchError>>()?;
+    let expected: Vec<Vec<u8>> = ros_disk::DataPlane::with_threads(0)
+        .map(&entries, |(_, path, size)| synth_data(path, *size));
+    for ((path_str, path, _), want) in entries.iter().zip(&expected) {
+        match cluster.read_file_supervised(path, &sweep_policy) {
+            Ok((r, _)) if r.data.as_ref() == want.as_slice() => {
                 report.verified += 1;
             }
             Ok(_) => report.lost.push(format!("{path_str}: payload corrupted")),

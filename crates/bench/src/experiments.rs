@@ -95,6 +95,7 @@ fn table1_config() -> RosConfig {
         scrub_interval: None,
         seed: 7,
         rack_id: 0,
+        data_plane_threads: 0,
     }
 }
 

@@ -9,12 +9,20 @@
 //! toward 10), so CI can gate on them without calibrating per runner.
 //! Absolute ns/op values ride along as informational context.
 //!
+//! A second section covers the GF(256) parity kernels: table-kernel
+//! throughput at 1 and N threads (untracked MB/s), the table-vs-scalar
+//! **cost ratios** (tracked — same machine-independence argument), and
+//! the 1-vs-4-thread output mismatch byte count, tracked at 0 so any
+//! determinism break in the data plane fails the gate.
+//!
 //! `repro perf --json` emits the report in the committed
 //! `BENCH_hotpaths.json` format; `repro perf --check <baseline>` fails
 //! (non-zero exit) when any tracked metric regresses more than
 //! [`MAX_REGRESSION_PCT`] versus the baseline.
 
 use crate::experiments::BenchError;
+use ros_disk::parity::{self, gf_mul_scalar, gf_pow2};
+use ros_disk::DataPlane;
 use ros_olfs::cache::ReadCache;
 use ros_olfs::ImageId;
 use ros_sim::stats::{LatencyRecorder, ThroughputSeries};
@@ -164,6 +172,278 @@ fn rate_at_query_ns(n: usize, reps: usize) -> f64 {
     })
 }
 
+/// Parity corpus shape: a RAID-6-wide group of deterministic stripes,
+/// big enough that the data plane actually fans out (well past its
+/// serial threshold) yet seconds-scale even for the scalar baselines.
+const PARITY_STRIPES: usize = 10;
+const PARITY_STRIPE_LEN: usize = 1 << 20;
+
+/// Builds the deterministic parity corpus from the splitmix stream.
+fn parity_corpus() -> Vec<Vec<u8>> {
+    let mut state = 0xC0FF_EE00_5EED_u64;
+    (0..PARITY_STRIPES)
+        .map(|_| {
+            let mut stripe = vec![0u8; PARITY_STRIPE_LEN];
+            for chunk in stripe.chunks_mut(8) {
+                let word = next_id(&mut state).to_le_bytes();
+                for (dst, src) in chunk.iter_mut().zip(word.iter()) {
+                    *dst = *src;
+                }
+            }
+            stripe
+        })
+        .collect()
+}
+
+/// Times `op()` over `total_bytes` of input, `reps` times, returning the
+/// median MB/s (same noise rationale as [`median_ns_per`]).
+fn median_mb_per_sec(total_bytes: usize, reps: usize, mut op: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            op();
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            total_bytes as f64 / (1024.0 * 1024.0) / secs
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The pre-table P parity: plain byte-loop XOR fold.
+fn scalar_parity_p(data: &[&[u8]]) -> Vec<u8> {
+    let mut p = vec![0u8; data[0].len()];
+    for stripe in data {
+        for (dst, src) in p.iter_mut().zip(stripe.iter()) {
+            *dst ^= src;
+        }
+    }
+    p
+}
+
+/// The pre-table Q parity: per-byte shift-and-add generator multiply,
+/// exactly what every Q byte cost before the split tables.
+fn scalar_parity_q(data: &[&[u8]]) -> Vec<u8> {
+    let mut q = vec![0u8; data[0].len()];
+    for (i, stripe) in data.iter().enumerate() {
+        let g = gf_pow2(i);
+        for (dst, src) in q.iter_mut().zip(stripe.iter()) {
+            *dst ^= gf_mul_scalar(g, *src);
+        }
+    }
+    q
+}
+
+/// Byte positions where `a` and `b` differ (length mismatch counts every
+/// position of the longer buffer).
+fn diff_bytes(a: &[u8], b: &[u8]) -> usize {
+    if a.len() != b.len() {
+        return a.len().max(b.len());
+    }
+    a.iter().zip(b.iter()).filter(|(x, y)| x != y).count()
+}
+
+/// Encodes and reconstructs the corpus at 1 thread and 4 threads and
+/// counts every differing output byte — the data plane's determinism
+/// contract says this is exactly zero.
+fn parity_thread_mismatch(refs: &[&[u8]], corpus: &[Vec<u8>]) -> f64 {
+    let single = DataPlane::new(1);
+    let quad = DataPlane::new(4);
+    let enc1 = parity::encode_pq_with(refs, &single).ok();
+    let enc4 = parity::encode_pq_with(refs, &quad).ok();
+    let (Some((p1, q1)), Some((p4, q4))) = (enc1, enc4) else {
+        return f64::INFINITY;
+    };
+    let mut mismatch = diff_bytes(&p1, &p4) + diff_bytes(&q1, &q4);
+    let mut lossy: Vec<Option<&[u8]>> = refs.iter().map(|s| Some(*s)).collect();
+    lossy[2] = None;
+    lossy[PARITY_STRIPES - 3] = None;
+    let rec1 = parity::reconstruct_pq_with(&lossy, Some(&p1), Some(&q1), &single).ok();
+    let rec4 = parity::reconstruct_pq_with(&lossy, Some(&p1), Some(&q1), &quad).ok();
+    let (Some((d1, _, _)), Some((d4, _, _))) = (rec1, rec4) else {
+        return f64::INFINITY;
+    };
+    for (a, b) in d1.iter().zip(d4.iter()) {
+        mismatch += diff_bytes(a, b);
+    }
+    // The reconstructions must also equal the original stripes, not
+    // merely agree with each other.
+    for (rec, orig) in d1.iter().zip(corpus.iter()) {
+        mismatch += diff_bytes(rec, orig);
+    }
+    mismatch as f64
+}
+
+/// Measures the GF(256) parity kernels: table vs scalar throughput at 1
+/// thread, data-plane scaling at N threads, and the 1-vs-4-thread
+/// output-byte mismatch (must be 0).
+fn parity_metrics(reps: usize) -> Vec<PerfMetric> {
+    let corpus = parity_corpus();
+    let refs: Vec<&[u8]> = corpus.iter().map(Vec::as_slice).collect();
+    let total = PARITY_STRIPES * PARITY_STRIPE_LEN;
+    let single = DataPlane::new(1);
+    let multi = DataPlane::detect();
+
+    let scalar_p = median_mb_per_sec(total, reps, || {
+        black_box(scalar_parity_p(&refs));
+    });
+    let scalar_q = median_mb_per_sec(total, reps, || {
+        black_box(scalar_parity_q(&refs));
+    });
+    let p_1t = median_mb_per_sec(total, reps, || {
+        black_box(parity::parity_p_with(&refs, &single).ok());
+    });
+    let p_mt = median_mb_per_sec(total, reps, || {
+        black_box(parity::parity_p_with(&refs, &multi).ok());
+    });
+    let q_1t = median_mb_per_sec(total, reps, || {
+        black_box(parity::parity_q_with(&refs, &single).ok());
+    });
+    let q_mt = median_mb_per_sec(total, reps, || {
+        black_box(parity::parity_q_with(&refs, &multi).ok());
+    });
+    let enc_1t = median_mb_per_sec(total, reps, || {
+        black_box(parity::encode_pq_with(&refs, &single).ok());
+    });
+    let enc_mt = median_mb_per_sec(total, reps, || {
+        black_box(parity::encode_pq_with(&refs, &multi).ok());
+    });
+
+    let encoded = parity::encode_pq_with(&refs, &single).ok();
+    let (rec_mt, ver_mt) = if let Some((p, q)) = &encoded {
+        let mut lossy: Vec<Option<&[u8]>> = refs.iter().map(|s| Some(*s)).collect();
+        lossy[2] = None;
+        lossy[PARITY_STRIPES - 3] = None;
+        let rec = median_mb_per_sec(total, reps, || {
+            black_box(parity::reconstruct_pq_with(&lossy, Some(p), Some(q), &multi).ok());
+        });
+        let ver = median_mb_per_sec(total, reps, || {
+            black_box(parity::verify_group_with(&refs, p, Some(q), &multi).ok());
+        });
+        (rec, ver)
+    } else {
+        (0.0, 0.0)
+    };
+    let mismatch = parity_thread_mismatch(&refs, &corpus);
+
+    // Cost ratios: time(table kernel) / time(scalar reference), i.e. the
+    // inverse throughput ratio. Machine-independent like the scaling
+    // ratios above, so they are the gated metrics; absolute MB/s and the
+    // thread-scaling figures depend on the host and ride untracked.
+    let q_cost = if q_1t > 0.0 {
+        scalar_q / q_1t
+    } else {
+        f64::INFINITY
+    };
+    let enc_cost = if enc_1t > 0.0 && scalar_p > 0.0 && scalar_q > 0.0 {
+        (1.0 / enc_1t) / (1.0 / scalar_p + 1.0 / scalar_q)
+    } else {
+        f64::INFINITY
+    };
+    let speedup = if scalar_q > 0.0 { q_1t / scalar_q } else { 0.0 };
+
+    vec![
+        metric(
+            "parity_q_scalar_mb_s",
+            scalar_q,
+            "MB/s",
+            false,
+            "Q parity via per-byte shift-and-add multiply (pre-table reference)",
+        ),
+        metric(
+            "parity_p_mb_s_1t",
+            p_1t,
+            "MB/s",
+            false,
+            "P parity, word-sliced XOR kernel, 1 thread",
+        ),
+        metric(
+            "parity_p_mb_s_mt",
+            p_mt,
+            "MB/s",
+            false,
+            "P parity, word-sliced XOR kernel, detected threads",
+        ),
+        metric(
+            "parity_q_mb_s_1t",
+            q_1t,
+            "MB/s",
+            false,
+            "Q parity, split-table kernel, 1 thread",
+        ),
+        metric(
+            "parity_q_mb_s_mt",
+            q_mt,
+            "MB/s",
+            false,
+            "Q parity, split-table kernel, detected threads",
+        ),
+        metric(
+            "encode_pq_mb_s_1t",
+            enc_1t,
+            "MB/s",
+            false,
+            "fused P+Q encode, 1 thread",
+        ),
+        metric(
+            "encode_pq_mb_s_mt",
+            enc_mt,
+            "MB/s",
+            false,
+            "fused P+Q encode, detected threads",
+        ),
+        metric(
+            "reconstruct2_mb_s_mt",
+            rec_mt,
+            "MB/s",
+            false,
+            "two-stripe GF reconstruction, detected threads",
+        ),
+        metric(
+            "verify_group_mb_s_mt",
+            ver_mt,
+            "MB/s",
+            false,
+            "no-allocation P+Q verify sweep, detected threads",
+        ),
+        metric(
+            "data_plane_threads",
+            multi.threads() as f64,
+            "threads",
+            false,
+            "detected data-plane worker count on this host",
+        ),
+        metric(
+            "parity_q_speedup_vs_scalar",
+            speedup,
+            "ratio",
+            false,
+            "Q table-kernel throughput over the scalar reference, 1 thread",
+        ),
+        metric(
+            "parity_q_cost_vs_scalar",
+            q_cost,
+            "ratio",
+            true,
+            "Q table-kernel time over scalar time (near-machine-independent)",
+        ),
+        metric(
+            "encode_pq_cost_vs_scalar",
+            enc_cost,
+            "ratio",
+            true,
+            "fused encode time over scalar P-then-Q time",
+        ),
+        metric(
+            "parity_mt_mismatch_bytes",
+            mismatch,
+            "bytes",
+            true,
+            "output bytes differing between 1-thread and 4-thread encode/reconstruct",
+        ),
+    ]
+}
+
 fn metric(name: &str, value: f64, unit: &str, tracked: bool, desc: &str) -> PerfMetric {
     PerfMetric {
         name: name.to_string(),
@@ -188,7 +468,7 @@ pub fn measure(reps: usize) -> PerfReport {
     let rate_small = rate_at_query_ns(1_000, reps);
     let rate_big = rate_at_query_ns(10_000, reps);
 
-    let metrics = vec![
+    let mut metrics = vec![
         metric(
             "cache_churn_ns_64",
             cache_small,
@@ -274,6 +554,7 @@ pub fn measure(reps: usize) -> PerfReport {
             "per-lookup cost growth for 10x more points (O(log n) => ~1)",
         ),
     ];
+    metrics.extend(parity_metrics(reps));
     PerfReport {
         schema: "BENCH_hotpaths/v1".to_string(),
         max_regression_pct: MAX_REGRESSION_PCT,
@@ -292,11 +573,16 @@ impl PerfReport {
             "metric", "value", "gated", "description"
         );
         for m in &self.metrics {
+            let unit = match m.unit.as_str() {
+                "ratio" => "x",
+                "ns/op" => "ns",
+                other => other,
+            };
             out += &format!(
-                "{:<28} {:>9.2} {:<2} {:>8}  {}\n",
+                "{:<28} {:>9.2} {:<7} {:>5}  {}\n",
                 m.name,
                 m.value,
-                if m.unit == "ratio" { "x" } else { "ns" },
+                unit,
                 if m.tracked { "yes" } else { "-" },
                 m.desc
             );
@@ -418,6 +704,32 @@ mod tests {
             agg.value < 6.0,
             "aggregate_scale_10x = {:.2}, merge no longer ~O(log k)",
             agg.value
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "timing assertion; meaningful only in optimized builds (CI release test pass)"
+    )]
+    fn parity_tables_beat_scalar_and_stay_deterministic() {
+        let metrics = parity_metrics(1);
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .expect("parity metric present")
+                .value
+        };
+        let speedup = get("parity_q_speedup_vs_scalar");
+        assert!(
+            speedup >= 10.0,
+            "Q table kernel only {speedup:.1}x the scalar reference (need >= 10x)"
+        );
+        let mismatch = get("parity_mt_mismatch_bytes");
+        assert!(
+            mismatch == 0.0,
+            "{mismatch} output bytes differ between 1-thread and 4-thread runs"
         );
     }
 }

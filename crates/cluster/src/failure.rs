@@ -15,6 +15,8 @@
 use crate::error::ClusterError;
 use crate::placement::{self, RackId};
 use crate::router::Cluster;
+use ros_disk::DataPlane;
+use ros_drive::media::fnv1a;
 use ros_sim::SimDuration;
 use ros_udf::UdfPath;
 use serde::{Deserialize, Serialize};
@@ -37,8 +39,9 @@ pub struct DrillReport {
     pub files_recovered: usize,
     /// Files with no surviving replica (0 when replication >= 2).
     pub files_lost: usize,
-    /// Affected files that verified readable through the normal read
-    /// path after the drill.
+    /// Copied files that read back *bit-exact* through the normal read
+    /// path after the drill (FNV-1a digest match against the survivor
+    /// copy, digests computed on the data plane).
     pub files_verified: usize,
     /// Payload bytes copied between racks.
     pub bytes_moved: u64,
@@ -101,7 +104,8 @@ impl Cluster {
         let mut files_lost = 0;
         let mut bytes_moved = 0u64;
         let mut new_targets: Vec<(String, Vec<RackId>)> = Vec::new();
-        let mut verify_list: Vec<String> = Vec::new();
+        let mut verify_list: Vec<(String, u64)> = Vec::new();
+        let plane = DataPlane::detect();
 
         for (key, targets, files) in affected {
             let survivors: Vec<RackId> = targets
@@ -114,7 +118,6 @@ impl Cluster {
                 new_targets.push((key, survivors));
                 continue;
             }
-            verify_list.extend(files.iter().map(|(p, _)| p.clone()));
             let group_bytes: u64 = files.iter().map(|(_, s)| *s).sum();
             let candidates: Vec<(RackId, u64)> = self
                 .racks
@@ -130,6 +133,9 @@ impl Cluster {
                 new_targets.push((key, survivors));
                 continue;
             };
+            // Pull the group's files from the survivors first (reads
+            // advance only the survivor racks' clocks, in file order).
+            let mut copies: Vec<(String, UdfPath, bytes::Bytes)> = Vec::with_capacity(files.len());
             for (path_str, _size) in &files {
                 let path: UdfPath = path_str.parse().map_err(|_| {
                     ClusterError::Internal(format!("tracked path invalid: {path_str}"))
@@ -145,6 +151,12 @@ impl Cluster {
                     files_lost += 1;
                     continue;
                 };
+                copies.push((path_str.clone(), path, data));
+            }
+            // Digest the survivor copies on the data plane; the verify
+            // pass below re-reads each file and compares bit-exact.
+            let digests: Vec<u64> = plane.map(&copies, |(_, _, data)| fnv1a(data));
+            for ((path_str, path, data), digest) in copies.into_iter().zip(digests) {
                 let len = data.len() as u64;
                 let tidx = self.rack_index(fresh.0)?;
                 self.racks[tidx]
@@ -154,6 +166,7 @@ impl Cluster {
                 self.racks[tidx].note_stored(len);
                 bytes_moved = bytes_moved.saturating_add(len);
                 files_recovered += 1;
+                verify_list.push((path_str, digest));
             }
             groups_relocated += 1;
             let mut updated = survivors;
@@ -167,12 +180,15 @@ impl Cluster {
             }
         }
 
-        // 3. Verify the affected files through the normal read path.
+        // 3. Verify the copied files through the normal read path,
+        //    bit-exact against the survivor copy's digest.
         let mut files_verified = 0;
-        for path_str in &verify_list {
+        for (path_str, digest) in &verify_list {
             if let Ok(path) = path_str.parse::<UdfPath>() {
-                if self.read_file(&path).is_ok() {
-                    files_verified += 1;
+                if let Ok(report) = self.read_file(&path) {
+                    if fnv1a(&report.data) == *digest {
+                        files_verified += 1;
+                    }
                 }
             }
         }

@@ -9,9 +9,13 @@
 //! This crate provides:
 //!
 //! - [`device`]: HDD/SSD block-device timing models,
+//! - [`gf`]: table-driven GF(2^8) kernels (const log/exp and 4-bit
+//!   split multiply tables, word-sliced XOR) behind the parity hot path,
 //! - [`parity`]: *real* XOR (P) and GF(2^8) Reed-Solomon (Q) parity
 //!   arithmetic with reconstruction of up to two losses — shared by the
 //!   RAID arrays here and by OLFS's disc-array redundancy (§4.7),
+//! - [`plane`]: a deterministic scoped-thread data plane for real-bytes
+//!   kernels — byte-identical results at any thread count,
 //! - [`raid`]: RAID-0/1/5/6 arrays with failure and rebuild modelling,
 //! - [`volume`]: the volume manager and the concurrent-stream
 //!   interference model that motivates ROS's multiple independent RAID
@@ -21,11 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod gf;
 pub mod params;
 pub mod parity;
+pub mod plane;
 pub mod raid;
 pub mod volume;
 
 pub use device::{BlockDevice, DeviceKind};
+pub use plane::DataPlane;
 pub use raid::{RaidArray, RaidError, RaidLevel};
 pub use volume::{StreamId, StreamKind, VolumeId, VolumeManager};

@@ -1,0 +1,204 @@
+//! Equivalence proptests: the table-driven, plane-parallel parity
+//! kernels must agree byte-for-byte with a scalar reference built on the
+//! original shift-and-add multiply ([`ros_disk::parity::gf_mul_scalar`]),
+//! across stripe counts, stripe lengths (including 0, 1, and
+//! non-word-aligned), and thread counts 1/2/4.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use ros_disk::parity;
+use ros_disk::plane::DataPlane;
+
+/// Scalar reference P parity: byte-at-a-time XOR, no tables, no plane.
+fn scalar_parity_p(data: &[&[u8]]) -> Vec<u8> {
+    let len = data.first().map(|d| d.len()).unwrap_or(0);
+    let mut p = vec![0u8; len];
+    for stripe in data {
+        for (pi, &b) in p.iter_mut().zip(stripe.iter()) {
+            *pi ^= b;
+        }
+    }
+    p
+}
+
+/// Scalar reference Q parity using the original repeated-multiply
+/// generator walk and scalar multiply.
+fn scalar_parity_q(data: &[&[u8]]) -> Vec<u8> {
+    let len = data.first().map(|d| d.len()).unwrap_or(0);
+    let mut q = vec![0u8; len];
+    let mut g: u8 = 1;
+    for stripe in data {
+        for (qi, &b) in q.iter_mut().zip(stripe.iter()) {
+            *qi ^= parity::gf_mul_scalar(g, b);
+        }
+        g = parity::gf_mul_scalar(g, 2);
+    }
+    q
+}
+
+fn gen_stripes(seed: u64, n_stripes: usize, len: usize) -> Vec<Vec<u8>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n_stripes)
+        .map(|_| (0..len).map(|_| rng.gen::<u8>()).collect())
+        .collect()
+}
+
+fn refs(v: &[Vec<u8>]) -> Vec<&[u8]> {
+    v.iter().map(|s| s.as_slice()).collect()
+}
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+proptest! {
+    #[test]
+    fn gf_mul_table_equals_scalar(a in 0u8..=255, b in 0u8..=255) {
+        prop_assert_eq!(parity::gf_mul(a, b), parity::gf_mul_scalar(a, b));
+    }
+
+    // Lengths deliberately cross 0, 1, word-unaligned tails, and the
+    // plane's serial/parallel threshold is exercised by the dedicated
+    // large-input test below.
+    #[test]
+    fn parity_pq_equal_scalar_at_all_thread_counts(
+        seed in 0u64..500,
+        n_stripes in 1usize..12,
+        len in 0usize..300,
+        thread_sel in 0usize..3,
+    ) {
+        let data = gen_stripes(seed, n_stripes, len);
+        let r = refs(&data);
+        let plane = DataPlane::new(THREADS[thread_sel]);
+        let expect_p = scalar_parity_p(&r);
+        let expect_q = scalar_parity_q(&r);
+        prop_assert_eq!(&parity::parity_p_with(&r, &plane).unwrap(), &expect_p);
+        prop_assert_eq!(&parity::parity_q_with(&r, &plane).unwrap(), &expect_q);
+        let (p, q) = parity::encode_pq_with(&r, &plane).unwrap();
+        prop_assert_eq!(&p, &expect_p);
+        prop_assert_eq!(&q, &expect_q);
+    }
+
+    #[test]
+    fn reconstruct_p_equals_scalar_at_all_thread_counts(
+        seed in 0u64..500,
+        n_stripes in 1usize..10,
+        len in 1usize..300,
+        lost_sel in 0usize..10,
+        thread_sel in 0usize..3,
+    ) {
+        let data = gen_stripes(seed, n_stripes, len);
+        let r = refs(&data);
+        let plane = DataPlane::new(THREADS[thread_sel]);
+        let p = scalar_parity_p(&r);
+        let lost = lost_sel % n_stripes;
+        let masked: Vec<Option<&[u8]>> = r
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i != lost).then_some(*s))
+            .collect();
+        let (rec, rp) = parity::reconstruct_p_with(&masked, Some(&p), &plane).unwrap();
+        prop_assert_eq!(rec, data);
+        prop_assert_eq!(rp, p);
+    }
+
+    #[test]
+    fn reconstruct_pq_equals_scalar_at_all_thread_counts(
+        seed in 0u64..500,
+        n_stripes in 2usize..10,
+        len in 1usize..300,
+        lost_sel in 0usize..45,
+        thread_sel in 0usize..3,
+    ) {
+        let data = gen_stripes(seed, n_stripes, len);
+        let r = refs(&data);
+        let plane = DataPlane::new(THREADS[thread_sel]);
+        let p = scalar_parity_p(&r);
+        let q = scalar_parity_q(&r);
+        let x = lost_sel % n_stripes;
+        let y = (lost_sel / n_stripes) % n_stripes;
+        let masked: Vec<Option<&[u8]>> = r
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i != x && i != y).then_some(*s))
+            .collect();
+        // Two data losses (or one when x == y) with both parities.
+        let (rec, rp, rq) =
+            parity::reconstruct_pq_with(&masked, Some(&p), Some(&q), &plane).unwrap();
+        prop_assert_eq!(&rec, &data);
+        prop_assert_eq!(&rp, &p);
+        prop_assert_eq!(&rq, &q);
+        // One data loss with P missing forces the Q-path recovery.
+        let masked_one: Vec<Option<&[u8]>> = r
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i != x).then_some(*s))
+            .collect();
+        let (rec, rp, rq) =
+            parity::reconstruct_pq_with(&masked_one, None, Some(&q), &plane).unwrap();
+        prop_assert_eq!(&rec, &data);
+        prop_assert_eq!(&rp, &p);
+        prop_assert_eq!(&rq, &q);
+    }
+
+    #[test]
+    fn verify_group_equals_scalar_recompute(
+        seed in 0u64..500,
+        n_stripes in 1usize..8,
+        len in 1usize..300,
+        corrupt in 0usize..301,
+        thread_sel in 0usize..3,
+    ) {
+        let data = gen_stripes(seed, n_stripes, len);
+        let mut r = refs(&data);
+        let plane = DataPlane::new(THREADS[thread_sel]);
+        let mut p = scalar_parity_p(&r);
+        let q = scalar_parity_q(&r);
+        prop_assert_eq!(
+            parity::verify_group_with(&r, &p, Some(&q), &plane).unwrap(),
+            true
+        );
+        if corrupt < len {
+            p[corrupt] ^= 0x01;
+            prop_assert_eq!(
+                parity::verify_group_with(&r, &p, Some(&q), &plane).unwrap(),
+                false
+            );
+        }
+        // Mismatched stripe lengths still error like the scalar path.
+        let short: Vec<u8> = vec![0u8; len + 1];
+        r.push(&short);
+        prop_assert_eq!(
+            parity::verify_group_with(&r, &p, Some(&q), &plane).unwrap_err(),
+            parity::ParityError::LengthMismatch
+        );
+    }
+}
+
+/// Inputs big enough to actually cross the plane's parallel threshold:
+/// the proptest lengths above stay small for speed, so this pins the
+/// multi-threaded split path against the scalar reference and against
+/// thread count 1 directly.
+#[test]
+fn large_unaligned_inputs_are_thread_count_invariant() {
+    let len = 300_003; // odd tail: exercises word slicing + chunk seams
+    let data = gen_stripes(0xD15C, 10, len);
+    let r = refs(&data);
+    let expect_p = scalar_parity_p(&r);
+    let expect_q = scalar_parity_q(&r);
+    for threads in THREADS {
+        let plane = DataPlane::new(threads);
+        let (p, q) = parity::encode_pq_with(&r, &plane).unwrap();
+        assert_eq!(p, expect_p, "threads={threads}");
+        assert_eq!(q, expect_q, "threads={threads}");
+        assert!(parity::verify_group_with(&r, &p, Some(&q), &plane).unwrap());
+        let masked: Vec<Option<&[u8]>> = r
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i != 2 && i != 7).then_some(*s))
+            .collect();
+        let (rec, rp, rq) =
+            parity::reconstruct_pq_with(&masked, Some(&p), Some(&q), &plane).unwrap();
+        assert_eq!(rec, data, "threads={threads}");
+        assert_eq!(rp, expect_p);
+        assert_eq!(rq, expect_q);
+    }
+}

@@ -108,6 +108,13 @@ pub struct RosConfig {
     /// is surfaced through [`crate::maintenance::SystemStatus`] so
     /// aggregated status reports stay attributable.
     pub rack_id: u32,
+    /// Worker threads for the real-bytes data plane (parity encode,
+    /// scrub verification, recovery reconstruction). `0` auto-detects
+    /// available parallelism capped at 8. The plane is deterministic:
+    /// results are byte-identical at any setting (DESIGN.md §12), so
+    /// this knob trades wall-clock only, never behaviour.
+    #[serde(default)]
+    pub data_plane_threads: usize,
 }
 
 impl RosConfig {
@@ -130,6 +137,7 @@ impl RosConfig {
             scrub_interval: Some(ros_sim::SimDuration::from_secs(7 * 24 * 3600)),
             seed: 0x20170423, // EuroSys'17 opening day.
             rack_id: 0,
+            data_plane_threads: 0,
         }
     }
 
@@ -155,6 +163,7 @@ impl RosConfig {
             scrub_interval: None,
             seed: 42,
             rack_id: 0,
+            data_plane_threads: 0,
         }
     }
 

@@ -270,6 +270,14 @@ impl Ros {
         &self.cfg
     }
 
+    /// The real-bytes data plane sized by `cfg.data_plane_threads`
+    /// (0 = auto-detect). Parity encode, scrub verification, and
+    /// recovery reconstruction run their kernels here; the plane is
+    /// deterministic, so the thread count never changes behaviour.
+    pub fn data_plane(&self) -> ros_disk::DataPlane {
+        ros_disk::DataPlane::with_threads(self.cfg.data_plane_threads)
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.queue.now()
@@ -859,7 +867,7 @@ impl Ros {
                 return; // A member vanished; leave for maintenance.
             }
             let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_ref()).collect();
-            match redundancy::generate(self.cfg.redundancy, &refs) {
+            match redundancy::generate_with(self.cfg.redundancy, &refs, &self.data_plane()) {
                 Ok(set) => {
                     let mut parity = Vec::new();
                     if let Some(p) = set.p {
@@ -2074,12 +2082,13 @@ impl Ros {
                         .unwrap_or(true)
                 });
             let sizes = vec![SECTOR; n_data];
-            let recovered = redundancy::reconstruct(
+            let recovered = redundancy::reconstruct_with(
                 self.cfg.redundancy,
                 &data_masked,
                 &sizes,
                 p_slice,
                 q_slice,
+                &self.data_plane(),
             )
             .map_err(|_| unrecoverable())?;
             for &i in &damaged {

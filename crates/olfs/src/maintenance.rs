@@ -270,21 +270,32 @@ impl Ros {
     pub fn scrub(&mut self) -> ScrubReport {
         let mut report = ScrubReport::default();
         let agg = self.bays[0].aggregate_read_speed(self.cfg.disc_class);
+        // The per-disc surface scan is pure read-only real-bytes work,
+        // so it fans out on the data plane; results come back in disc-id
+        // order, so the report and the simulated read time charged below
+        // are identical at any thread count.
+        let plane = self.data_plane();
+        let registry = &self.registry;
+        let ids: Vec<DiscId> = (0..registry.len() as u64).map(DiscId).collect();
+        let scans: Vec<Option<(u64, Vec<u64>)>> = plane.map(&ids, |id| {
+            let disc = registry.disc(*id)?;
+            if disc.is_blank() {
+                return None;
+            }
+            let bytes = disc.tracks().iter().map(ros_drive::Track::len).sum::<u64>();
+            Some((bytes, disc.scrub()))
+        });
         let mut total_bytes = 0u64;
-        for id in (0..self.registry.len() as u64).map(DiscId) {
-            let Some(disc) = self.registry.disc(id) else {
+        for (id, scan) in ids.iter().zip(scans) {
+            let Some((bytes, damaged)) = scan else {
                 continue;
             };
-            if disc.is_blank() {
-                continue;
-            }
             report.discs_scanned += 1;
-            total_bytes += disc.tracks().iter().map(ros_drive::Track::len).sum::<u64>();
-            let damaged = disc.scrub();
+            total_bytes += bytes;
             if !damaged.is_empty() {
                 report
                     .damaged
-                    .push((id, damaged.into_iter().map(ImageId).collect()));
+                    .push((*id, damaged.into_iter().map(ImageId).collect()));
             }
         }
         report.elapsed = agg.time_for(total_bytes);

@@ -245,9 +245,14 @@ impl Ros {
 
     /// Scans every Used tray: loads it, reads each disc's data tracks in
     /// parallel, parses the images and collects files matching `keep`.
+    ///
+    /// Drive reads stay sequential (they need `&mut` drive state and
+    /// charge simulated time); the CPU-bound image parse and file
+    /// extraction fan out on the data plane afterwards, in read order,
+    /// so the result is identical at any thread count.
     fn scan_burned_images(
         &mut self,
-        keep: impl Fn(&UdfPath, &[u8]) -> bool,
+        keep: impl Fn(&UdfPath, &[u8]) -> bool + Sync,
     ) -> Result<ScanResult, OlfsError> {
         let mut result = ScanResult::default();
         let layout = self.cfg.layout;
@@ -277,6 +282,7 @@ impl Ros {
                 }
                 result.discs_read += 1;
                 let mut drive_time = SimDuration::ZERO;
+                let mut payloads: Vec<(u64, bytes::Bytes)> = Vec::with_capacity(image_ids.len());
                 for image_id in image_ids {
                     let Some(drive) = self.bays[bay].drive_mut(pos) else {
                         continue;
@@ -286,29 +292,36 @@ impl Ros {
                         Err(_) => continue, // Damaged track: skip in a scan.
                     };
                     drive_time += timed.duration;
-                    let bytes = match timed.payload {
-                        ros_drive::Payload::Inline(b) => b,
+                    match timed.payload {
+                        ros_drive::Payload::Inline(b) => payloads.push((image_id, b)),
                         ros_drive::Payload::Synthetic { .. } => continue,
-                    };
-                    // Parity payloads normally fail to parse; the
-                    // degenerate single-member XOR parity *does* parse
-                    // but carries a mismatched embedded image id.
-                    let Ok(img) = SealedImage::from_bytes(bytes) else {
-                        continue;
-                    };
-                    if img.image_id() != image_id {
-                        continue;
-                    }
-                    result.images_parsed += 1;
-                    for (path, _meta) in img.scan_files() {
-                        if let Ok(data) = img.read(&path) {
-                            if keep(&path, &data) {
-                                result.files.push((path, ImageId(image_id), data.to_vec()));
-                            }
-                        }
                     }
                 }
                 slowest = slowest.max(drive_time);
+                // Parse and extract in parallel, in read order.
+                let keep = &keep;
+                let parsed = self.data_plane().map(&payloads, |(image_id, bytes)| {
+                    // Parity payloads normally fail to parse; the
+                    // degenerate single-member XOR parity *does* parse
+                    // but carries a mismatched embedded image id.
+                    let img = SealedImage::from_bytes(bytes.clone()).ok()?;
+                    if img.image_id() != *image_id {
+                        return None;
+                    }
+                    let mut files = Vec::new();
+                    for (path, _meta) in img.scan_files() {
+                        if let Ok(data) = img.read(&path) {
+                            if keep(&path, &data) {
+                                files.push((path, ImageId(*image_id), data.to_vec()));
+                            }
+                        }
+                    }
+                    Some(files)
+                });
+                for files in parsed.into_iter().flatten() {
+                    result.images_parsed += 1;
+                    result.files.extend(files);
+                }
             }
             self.run_for(slowest);
             self.unload_bay(bay)?;

@@ -14,6 +14,7 @@
 use crate::config::Redundancy;
 use bytes::Bytes;
 use ros_disk::parity::{self, ParityError};
+use ros_disk::plane::DataPlane;
 
 /// Parity payloads for one disc array.
 #[derive(Clone, Debug, PartialEq)]
@@ -72,6 +73,17 @@ fn pad_to(data: &[u8], len: usize) -> Vec<u8> {
 ///
 /// Returns `ParitySet { p: None, q: None, .. }` for [`Redundancy::None`].
 pub fn generate(schema: Redundancy, data_images: &[&[u8]]) -> Result<ParitySet, RedundancyError> {
+    generate_with(schema, data_images, &DataPlane::single())
+}
+
+/// [`generate`] on a data plane: the ragged kernels treat short members
+/// as zero-filled to the longest, so no padded copies are allocated, and
+/// RAID-6 computes P and Q in one fused pass over each image.
+pub fn generate_with(
+    schema: Redundancy,
+    data_images: &[&[u8]],
+    plane: &DataPlane,
+) -> Result<ParitySet, RedundancyError> {
     if data_images.is_empty() {
         return Err(RedundancyError::Empty);
     }
@@ -83,16 +95,26 @@ pub fn generate(schema: Redundancy, data_images: &[&[u8]]) -> Result<ParitySet, 
             stripe_len,
         });
     }
-    let padded: Vec<Vec<u8>> = data_images.iter().map(|d| pad_to(d, stripe_len)).collect();
-    let refs: Vec<&[u8]> = padded.iter().map(|v| v.as_slice()).collect();
-    let p = Bytes::from(parity::parity_p(&refs)?);
-    let q = match schema {
-        Redundancy::Raid6 => Some(Bytes::from(parity::parity_q(&refs)?)),
-        _ => None,
+    let (p, q) = match schema {
+        Redundancy::Raid6 => {
+            let (p, q) = parity::encode_pq_padded_with(data_images, plane)?;
+            (Bytes::from(p), Some(Bytes::from(q)))
+        }
+        _ => (
+            Bytes::from(parity::parity_p_padded_with(data_images, plane)?),
+            None,
+        ),
     };
     // Debug builds re-verify the freshly generated parity group before it
-    // is handed to the burn pipeline; compiled out in release.
-    parity::debug_assert_group(&refs, &p, q.as_deref());
+    // is handed to the burn pipeline; compiled out in release. The check
+    // runs against explicitly padded members — the invariant the burn
+    // pipeline relies on — so the padding cost exists in debug only.
+    #[cfg(debug_assertions)]
+    {
+        let padded: Vec<Vec<u8>> = data_images.iter().map(|d| pad_to(d, stripe_len)).collect();
+        let refs: Vec<&[u8]> = padded.iter().map(|v| v.as_slice()).collect();
+        parity::debug_assert_group(&refs, &p, q.as_deref());
+    }
     Ok(ParitySet {
         p: Some(p),
         q,
@@ -111,6 +133,18 @@ pub fn reconstruct(
     sizes: &[usize],
     p: Option<&[u8]>,
     q: Option<&[u8]>,
+) -> Result<Vec<Bytes>, RedundancyError> {
+    reconstruct_with(schema, data, sizes, p, q, &DataPlane::single())
+}
+
+/// [`reconstruct`] on a data plane.
+pub fn reconstruct_with(
+    schema: Redundancy,
+    data: &[Option<&[u8]>],
+    sizes: &[usize],
+    p: Option<&[u8]>,
+    q: Option<&[u8]>,
+    plane: &DataPlane,
 ) -> Result<Vec<Bytes>, RedundancyError> {
     assert_eq!(data.len(), sizes.len(), "one size per member");
     let lost = data.iter().filter(|d| d.is_none()).count();
@@ -139,8 +173,8 @@ pub fn reconstruct(
         Redundancy::None => {
             return Err(RedundancyError::TooManyLost { lost, tolerated: 0 });
         }
-        Redundancy::Raid5 => parity::reconstruct_p(&masked, p)?.0,
-        Redundancy::Raid6 => parity::reconstruct_pq(&masked, p, q)?.0,
+        Redundancy::Raid5 => parity::reconstruct_p_with(&masked, p, plane)?.0,
+        Redundancy::Raid6 => parity::reconstruct_pq_with(&masked, p, q, plane)?.0,
     };
     Ok(recovered
         .into_iter()
@@ -216,6 +250,39 @@ mod tests {
                     assert_eq!(r.as_ref(), orig.as_slice());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn generate_and_reconstruct_are_thread_count_invariant() {
+        let imgs = images();
+        let sizes: Vec<usize> = imgs.iter().map(Vec::len).collect();
+        let expect = generate(Redundancy::Raid6, &refs(&imgs)).unwrap();
+        let mut masked: Vec<Option<&[u8]>> = imgs.iter().map(|d| Some(d.as_slice())).collect();
+        masked[2] = None;
+        masked[9] = None;
+        let expect_rec = reconstruct(
+            Redundancy::Raid6,
+            &masked,
+            &sizes,
+            expect.p.as_deref(),
+            expect.q.as_deref(),
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let plane = DataPlane::new(threads);
+            let got = generate_with(Redundancy::Raid6, &refs(&imgs), &plane).unwrap();
+            assert_eq!(got, expect, "threads={threads}");
+            let rec = reconstruct_with(
+                Redundancy::Raid6,
+                &masked,
+                &sizes,
+                got.p.as_deref(),
+                got.q.as_deref(),
+                &plane,
+            )
+            .unwrap();
+            assert_eq!(rec, expect_rec, "threads={threads}");
         }
     }
 
