@@ -1,0 +1,155 @@
+//! The committed per-lint baseline ratchet.
+//!
+//! `ANALYSIS_BASELINE.json` at the workspace root records the accepted
+//! number of findings per lint — existing debt, held in place while new
+//! debt is refused. `check` fails as soon as any lint's live count rises
+//! above its baseline entry, and `--update-baseline` only ever writes
+//! counts lower than or equal to the committed ones: the ratchet moves
+//! down, never up.
+//!
+//! The file is a flat JSON object (`{"L1": 0, "L8": 12, ...}`), parsed
+//! and rendered by hand because this crate is deliberately
+//! dependency-free. Rendering is deterministic (fixed lint order) so the
+//! committed file never churns.
+
+use crate::lints::LINT_IDS;
+use std::collections::BTreeMap;
+
+/// A malformed baseline file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+fn err(message: impl Into<String>) -> BaselineError {
+    BaselineError {
+        message: message.into(),
+    }
+}
+
+/// Per-lint accepted finding counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// The empty baseline: every lint must be clean.
+    pub fn zero() -> Baseline {
+        Baseline::default()
+    }
+
+    /// The accepted count for a lint (0 if absent).
+    pub fn get(&self, id: &str) -> usize {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// Builds a baseline from live `(lint, count)` pairs.
+    pub fn from_counts(counts: &[(&str, usize)]) -> Baseline {
+        Baseline {
+            counts: counts.iter().map(|(id, n)| (id.to_string(), *n)).collect(),
+        }
+    }
+
+    /// Parses the baseline JSON: one flat object of `"lint": count`.
+    pub fn parse(text: &str) -> Result<Baseline, BaselineError> {
+        let body = text.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| err("baseline must be a single JSON object"))?;
+        let mut counts = BTreeMap::new();
+        for entry in body.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (key, value) = entry
+                .split_once(':')
+                .ok_or_else(|| err(format!("cannot parse baseline entry `{entry}`")))?;
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|k| k.strip_suffix('"'))
+                .ok_or_else(|| err(format!("baseline key `{}` is not a string", key.trim())))?;
+            if !LINT_IDS.contains(&key) {
+                return Err(err(format!("unknown lint id `{key}` in baseline")));
+            }
+            let value: usize = value.trim().parse().map_err(|_| {
+                err(format!(
+                    "baseline count for {key} is not a non-negative integer"
+                ))
+            })?;
+            counts.insert(key.to_string(), value);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Renders the baseline as committed-file JSON: every lint id, fixed
+    /// order, one entry per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, id) in LINT_IDS.iter().enumerate() {
+            out.push_str(&format!(
+                "  \"{id}\": {}{}\n",
+                self.get(id),
+                if i + 1 < LINT_IDS.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Lints whose live count exceeds the baseline, with both numbers.
+    pub fn exceeded<'a>(&self, counts: &[(&'a str, usize)]) -> Vec<(&'a str, usize, usize)> {
+        counts
+            .iter()
+            .filter(|(id, n)| *n > self.get(id))
+            .map(|(id, n)| (*id, *n, self.get(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let b = Baseline::from_counts(&[("L8", 12), ("L2", 3)]);
+        let text = b.render();
+        let back = Baseline::parse(&text).expect("rendered baseline parses");
+        assert_eq!(back.get("L8"), 12);
+        assert_eq!(back.get("L2"), 3);
+        assert_eq!(back.get("L6"), 0);
+        // Deterministic render: identical bytes on a second pass.
+        assert_eq!(text, back.render());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"L99\": 1}").is_err());
+        assert!(Baseline::parse("{\"L1\": -3}").is_err());
+        assert!(Baseline::parse("{L1: 1}").is_err());
+    }
+
+    #[test]
+    fn exceeded_compares_per_lint() {
+        let b = Baseline::from_counts(&[("L8", 10)]);
+        let over = b.exceeded(&[("L8", 11), ("L2", 0)]);
+        assert_eq!(over, vec![("L8", 11, 10)]);
+        assert!(b.exceeded(&[("L8", 10)]).is_empty());
+        // A lint absent from the baseline is held at zero.
+        assert_eq!(b.exceeded(&[("L6", 1)]), vec![("L6", 1, 0)]);
+    }
+}

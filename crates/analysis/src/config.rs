@@ -32,7 +32,7 @@ pub struct Config {
     pub roots: Vec<String>,
     /// Path prefixes to skip entirely.
     pub exclude: Vec<String>,
-    /// Lints to run, by id (`"L1"` .. `"L5"`).
+    /// Lints to run, by id (`"L1"` .. `"L9"`).
     pub enabled: Vec<String>,
     /// Crates (directory names under `crates/`) where wall-clock types are
     /// banned (L1).
@@ -41,6 +41,11 @@ pub struct Config {
     pub l3_files: Vec<String>,
     /// File name whose numeric constants need paper citations (L4).
     pub l4_file_name: String,
+    /// Determinism-scoped crates where hash-order iteration is banned (L6).
+    pub l6_crates: Vec<String>,
+    /// Files allowed to use raw concurrency primitives (L7) — the
+    /// DataPlane, normally.
+    pub l7_files: Vec<String>,
 }
 
 impl Default for Config {
@@ -48,13 +53,15 @@ impl Default for Config {
         Config {
             roots: vec!["crates".to_string()],
             exclude: Vec::new(),
-            enabled: ["L1", "L2", "L3", "L4", "L5"]
+            enabled: ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
             l1_crates: Vec::new(),
             l3_files: Vec::new(),
             l4_file_name: "params.rs".to_string(),
+            l6_crates: Vec::new(),
+            l7_files: Vec::new(),
         }
     }
 }
@@ -77,12 +84,14 @@ impl Config {
                     ("L1", "crates") => cfg.l1_crates = value.as_list(*line)?,
                     ("L3", "files") => cfg.l3_files = value.as_list(*line)?,
                     ("L4", "file_name") => cfg.l4_file_name = value.as_string(*line)?,
+                    ("L6", "crates") => cfg.l6_crates = value.as_list(*line)?,
+                    ("L7", "files") => cfg.l7_files = value.as_list(*line)?,
                     _ => return Err(unknown()),
                 }
             }
         }
         for lint in &cfg.enabled {
-            if !matches!(lint.as_str(), "L1" | "L2" | "L3" | "L4" | "L5") {
+            if !crate::lints::is_allowable_id(lint) {
                 return Err(ConfigError {
                     line: 0,
                     message: format!("unknown lint id `{lint}` in lints.enabled"),
@@ -267,6 +276,12 @@ files = ["crates/sim/src/time.rs"]
 
 [L4]
 file_name = "params.rs"  # trailing comment
+
+[L6]
+crates = ["olfs"]
+
+[L7]
+files = ["crates/disk/src/plane.rs"]
 "#,
         )
         .expect("config parses");
@@ -277,6 +292,8 @@ file_name = "params.rs"  # trailing comment
         assert_eq!(cfg.l1_crates, vec!["sim", "disk"]);
         assert_eq!(cfg.l3_files, vec!["crates/sim/src/time.rs"]);
         assert_eq!(cfg.l4_file_name, "params.rs");
+        assert_eq!(cfg.l6_crates, vec!["olfs"]);
+        assert_eq!(cfg.l7_files, vec!["crates/disk/src/plane.rs"]);
     }
 
     #[test]
@@ -289,7 +306,7 @@ file_name = "params.rs"  # trailing comment
     #[test]
     fn rejects_unknown_keys_and_lints() {
         assert!(Config::parse("[scope]\nwhatever = \"x\"\n").is_err());
-        assert!(Config::parse("[lints]\nenabled = [\"L9\"]\n").is_err());
+        assert!(Config::parse("[lints]\nenabled = [\"L42\"]\n").is_err());
         assert!(Config::parse("orphan = \"x\"\n").is_err());
         assert!(Config::parse("[scope]\nroots = [\"a\"\n").is_err());
     }
@@ -297,7 +314,7 @@ file_name = "params.rs"  # trailing comment
     #[test]
     fn defaults_enable_all_lints() {
         let cfg = Config::parse("").expect("empty config parses");
-        for id in ["L1", "L2", "L3", "L4", "L5"] {
+        for id in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"] {
             assert!(cfg.lint_enabled(id));
         }
     }

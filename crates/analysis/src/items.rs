@@ -1,0 +1,473 @@
+//! Item-aware pass over the lexer stream.
+//!
+//! The lints in this crate started as pure token scans; several of the
+//! rules added for determinism auditing need *context* — which struct
+//! fields hold a `HashMap`, where a `fn` body ends, whether a line sits
+//! inside test code, what a `use` line imports. This module recovers that
+//! context in a single pass over the token stream without growing into a
+//! real parser: item spans are bracketed by balanced `{...}` / `;`
+//! scanning, and type positions are recognised from `name : Type`
+//! shapes. The result is deliberately approximate in the safe direction:
+//! a miss produces a false *negative*, never a spurious finding on
+//! unrelated code.
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeSet, HashSet};
+
+/// What kind of item a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` item (free function, method, or trait default).
+    Fn,
+    /// A `struct` definition.
+    Struct,
+    /// An `enum` definition.
+    Enum,
+    /// An `impl` block.
+    Impl,
+    /// A `trait` definition.
+    Trait,
+    /// An inline `mod` block.
+    Mod,
+    /// A `use` import.
+    Use,
+}
+
+/// One recovered item span. Token indices refer to the *code* slice the
+/// map was built from (comments excluded).
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// The item's name (first identifier after the keyword, generics
+    /// skipped); for `use` items, the full imported path.
+    pub name: String,
+    /// 1-based first line.
+    pub first_line: usize,
+    /// 1-based last line (the closing brace or `;`).
+    pub last_line: usize,
+    /// Index of the introducing keyword token.
+    pub start_tok: usize,
+    /// Index of the item's final token.
+    pub end_tok: usize,
+}
+
+/// The item-level view of one source file.
+#[derive(Clone, Debug, Default)]
+pub struct ItemMap {
+    /// All recovered items in source order (nested items included —
+    /// methods inside an `impl` get their own spans).
+    pub items: Vec<Item>,
+    /// Lines covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_lines: HashSet<usize>,
+    /// Names declared with a `HashMap` / `HashSet` type: struct fields,
+    /// `let` bindings (annotated or constructed), and fn parameters.
+    pub hash_names: BTreeSet<String>,
+}
+
+/// Keywords that introduce an item span we track.
+fn item_keyword(t: &Tok) -> Option<ItemKind> {
+    for (kw, kind) in [
+        ("fn", ItemKind::Fn),
+        ("struct", ItemKind::Struct),
+        ("enum", ItemKind::Enum),
+        ("impl", ItemKind::Impl),
+        ("trait", ItemKind::Trait),
+        ("mod", ItemKind::Mod),
+        ("use", ItemKind::Use),
+    ] {
+        if t.is_ident(kw) {
+            return Some(kind);
+        }
+    }
+    None
+}
+
+impl ItemMap {
+    /// Builds the item map from the comment-free token slice.
+    pub fn parse(code: &[&Tok]) -> ItemMap {
+        let mut map = ItemMap {
+            items: Vec::new(),
+            test_lines: test_region_lines(code),
+            hash_names: BTreeSet::new(),
+        };
+        map.collect_items(code);
+        map.collect_hash_names(code);
+        map
+    }
+
+    /// True if 1-based `line` is inside test code.
+    pub fn in_test(&self, line: usize) -> bool {
+        self.test_lines.contains(&line)
+    }
+
+    /// The innermost item containing code-token index `idx`, if any.
+    pub fn enclosing_item(&self, idx: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.start_tok <= idx && idx <= it.end_tok)
+            .min_by_key(|it| it.end_tok - it.start_tok)
+    }
+
+    fn collect_items(&mut self, code: &[&Tok]) {
+        for (i, t) in code.iter().enumerate() {
+            let Some(kind) = item_keyword(t) else {
+                continue;
+            };
+            // `use` in `use std::...;` vs closure captures: `use` is a
+            // reserved keyword, always an import.
+            if kind == ItemKind::Fn && i > 0 && code[i - 1].is_ident("const") {
+                // `const fn` — the `fn` token still introduces the item;
+                // nothing special to do, fall through.
+            }
+            // Skip `impl Trait` in return position: `-> impl Iterator`.
+            if kind == ItemKind::Impl
+                && i > 0
+                && (code[i - 1].is_punct('>') || code[i - 1].is_ident("dyn"))
+            {
+                continue;
+            }
+            // `mod` must introduce a block or declaration, not appear in
+            // a path (`self::mod` cannot occur; nothing to guard).
+            let end = item_end(code, i);
+            let name = match kind {
+                ItemKind::Use => use_path(code, i),
+                _ => item_name(code, i),
+            };
+            self.items.push(Item {
+                kind,
+                name,
+                first_line: t.line,
+                last_line: code[end.min(code.len() - 1)].line,
+                start_tok: i,
+                end_tok: end,
+            });
+        }
+    }
+
+    /// Records names whose declared type (or constructor) is a
+    /// `HashMap` / `HashSet`. Recognised shapes:
+    ///
+    /// - `name: HashMap<...>` — struct fields, fn params, annotated
+    ///   `let`s; a leading `&`, `&mut` or `std::collections::` path
+    ///   prefix is skipped. `Vec<HashSet<_>>` is *not* recorded: only a
+    ///   type that *is* a hash container, not one that contains some.
+    /// - `let [mut] name = HashMap::new(...)` (or `with_capacity`,
+    ///   `from`, `default`).
+    fn collect_hash_names(&mut self, code: &[&Tok]) {
+        for i in 0..code.len() {
+            // `name : Type` where the next token is a single colon.
+            if code[i].kind == TokKind::Ident
+                && !is_decl_keyword(&code[i].text)
+                && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && !code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && type_is_hash_container(code, i + 2)
+            {
+                self.hash_names.insert(code[i].text.clone());
+            }
+            // `let [mut] name = HashMap::...`.
+            if code[i].is_ident("let") {
+                let mut j = i + 1;
+                if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                let Some(name) = code.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                    continue;
+                };
+                if code.get(j + 1).is_some_and(|t| t.is_punct('='))
+                    && type_is_hash_container(code, j + 2)
+                {
+                    self.hash_names.insert(name.text.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Keywords that can precede `:` without being a binding name.
+fn is_decl_keyword(text: &str) -> bool {
+    matches!(text, "mut" | "ref" | "pub" | "crate" | "super" | "Self")
+}
+
+/// True if the type (or constructor path) starting at `i` is a hash
+/// container after skipping `&`, `mut`, `'lifetime` and a module path
+/// prefix such as `std::collections::`.
+fn type_is_hash_container(code: &[&Tok], mut i: usize) -> bool {
+    while code
+        .get(i)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut") || t.kind == TokKind::Lifetime)
+    {
+        i += 1;
+    }
+    // Walk a `seg::seg::...` path; stop at the first hash-container
+    // segment so constructor paths (`HashMap::with_capacity`) count too.
+    while code.get(i).is_some_and(|t| t.kind == TokKind::Ident) {
+        if code[i].is_ident("HashMap") || code[i].is_ident("HashSet") {
+            return true;
+        }
+        if code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            i += 3;
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// The item's name: the first identifier after the keyword, skipping a
+/// generic parameter list (`impl<T> Foo` names `Foo`).
+fn item_name(code: &[&Tok], kw: usize) -> String {
+    let mut i = kw + 1;
+    if code.get(i).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0;
+        while i < code.len() {
+            if code[i].is_punct('<') {
+                depth += 1;
+            } else if code[i].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    code.get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .unwrap_or_default()
+}
+
+/// Renders the imported path of a `use` item (`use a::b::{c, d};` comes
+/// back as `a::b::{c,d}`).
+fn use_path(code: &[&Tok], kw: usize) -> String {
+    let mut out = String::new();
+    for t in code.iter().skip(kw + 1) {
+        if t.is_punct(';') {
+            break;
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+/// Index of the last token of the item starting at keyword `kw`: the
+/// matching close of its first body `{...}`, or the terminating `;` for
+/// bodyless items (`use`, unit structs, trait fn declarations).
+fn item_end(code: &[&Tok], kw: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = kw;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+            if t.is_punct('{') && depth == 1 {
+                // First body brace: balance from here.
+                let mut d = 1i32;
+                let mut j = i + 1;
+                while j < code.len() && d > 0 {
+                    if code[j].is_punct('{') || code[j].is_punct('(') || code[j].is_punct('[') {
+                        d += 1;
+                    } else if code[j].is_punct('}')
+                        || code[j].is_punct(')')
+                        || code[j].is_punct(']')
+                    {
+                        d -= 1;
+                    }
+                    j += 1;
+                }
+                return j.saturating_sub(1);
+            }
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Returns the set of lines inside `#[cfg(test)]` / `#[test]` items.
+pub fn test_region_lines(code: &[&Tok]) -> HashSet<usize> {
+    let mut lines = HashSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_line = code[i].line;
+            let (is_test, after_attr) = scan_attribute(code, i + 1);
+            if is_test {
+                // Skip any further attributes, then span the item itself.
+                let mut j = after_attr;
+                while j < code.len()
+                    && code[j].is_punct('#')
+                    && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let (_, next) = scan_attribute(code, j + 1);
+                    j = next;
+                }
+                let end_line = attr_item_end_line(code, j);
+                for line in attr_line..=end_line {
+                    lines.insert(line);
+                }
+                i = j;
+                continue;
+            }
+            i = after_attr;
+            continue;
+        }
+        i += 1;
+    }
+    lines
+}
+
+/// Scans a `[...]` attribute starting at its opening bracket; returns
+/// whether it marks test code, and the index just past the `]`.
+fn scan_attribute(code: &[&Tok], open: usize) -> (bool, usize) {
+    let mut depth = 0;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut i = open;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (has_test && !has_not, i + 1);
+            }
+        } else if t.is_ident("test") {
+            has_test = true;
+        } else if t.is_ident("not") {
+            // `#[cfg(not(test))]` is production code, not test code.
+            has_not = true;
+        }
+        i += 1;
+    }
+    (false, i)
+}
+
+/// Returns the last line of the attributed item starting at `start` (a
+/// body `{...}` balanced to its close, or a declaration ending in `;`).
+fn attr_item_end_line(code: &[&Tok], start: usize) -> usize {
+    let mut depth = 0;
+    let mut i = start;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return t.line;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return t.line;
+        }
+        i += 1;
+    }
+    code.last().map(|t| t.line).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn map_of(src: &str) -> ItemMap {
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        ItemMap::parse(&code)
+    }
+
+    #[test]
+    fn recovers_fn_struct_impl_spans() {
+        let src = r#"
+use std::collections::HashMap;
+
+pub struct Engine {
+    burning: HashMap<usize, u32>,
+    names: Vec<String>,
+}
+
+impl Engine {
+    fn tick(&mut self) {
+        let x = 1;
+    }
+}
+"#;
+        let map = map_of(src);
+        let kinds: Vec<ItemKind> = map.items.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ItemKind::Use,
+                ItemKind::Struct,
+                ItemKind::Impl,
+                ItemKind::Fn
+            ]
+        );
+        let s = &map.items[1];
+        assert_eq!(s.name, "Engine");
+        assert_eq!((s.first_line, s.last_line), (4, 7));
+        let f = &map.items[3];
+        assert_eq!(f.name, "tick");
+        assert_eq!((f.first_line, f.last_line), (10, 12));
+    }
+
+    #[test]
+    fn hash_names_from_fields_lets_and_params() {
+        let src = r#"
+struct S {
+    index: std::collections::HashMap<u64, usize>,
+    plain: Vec<u8>,
+    nested: Vec<HashSet<u64>>,
+}
+fn f(seen: &mut HashSet<u64>) {
+    let by_id: HashMap<u64, u8> = HashMap::new();
+    let mut fresh = HashMap::with_capacity(4);
+    let not_hash = Vec::new();
+}
+"#;
+        let map = map_of(src);
+        let names: Vec<&str> = map.hash_names.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["by_id", "fresh", "index", "seen"]);
+    }
+
+    #[test]
+    fn generic_impl_names_skip_params() {
+        let map = map_of("impl<T: Clone> Holder<T> { fn get(&self) {} }");
+        assert_eq!(map.items[0].name, "Holder");
+    }
+
+    #[test]
+    fn enclosing_item_picks_innermost() {
+        let src = "impl A { fn inner(&self) { let x = 1; } }";
+        let map = map_of(src);
+        // Token index of `x`.
+        let toks = lex(src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+        let xi = code.iter().position(|t| t.is_ident("x")).unwrap();
+        assert_eq!(map.enclosing_item(xi).unwrap().kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn use_items_capture_paths() {
+        let map = map_of("use std::sync::Mutex;\nfn f() {}");
+        assert_eq!(map.items[0].name, "std::sync::Mutex");
+        assert_eq!(map.items[0].kind, ItemKind::Use);
+    }
+
+    #[test]
+    fn test_regions_cover_attributed_items() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod() {}";
+        let map = map_of(src);
+        assert!(map.in_test(3));
+        assert!(!map.in_test(5));
+    }
+}

@@ -16,17 +16,35 @@
 //!   (`§4.2`, `Table 3`, `Fig 8`) so calibration stays auditable.
 //! - **L5** — public `Result`-returning APIs must use a typed error, not
 //!   `String` or `Box<dyn Error>`.
+//! - **L6** — no order-nondeterministic `HashMap` / `HashSet` iteration
+//!   in determinism-scoped crates; hash order is random per instance and
+//!   silently breaks the digest-equality reproducibility gates.
+//! - **L7** — raw threading, locks, atomics, and `static mut` are banned
+//!   outside the `DataPlane` (`crates/disk/src/plane.rs`); parallelism
+//!   has exactly one audited home.
+//! - **L8** — workspace-wide lossy-cast audit: every bare narrowing `as`
+//!   outside the L3 file list, with `try_from` / mask suggestions.
+//! - **L9** — allow-annotation hygiene: a `ros-analysis: allow(..)` that
+//!   no longer suppresses anything is itself a finding.
 //!
 //! A violation that is intentional is silenced in place with
 //! `// ros-analysis: allow(Lx, reason)` — the reason is mandatory and is
 //! the audit trail for the exception.
+//!
+//! Findings are compared against the committed `ANALYSIS_BASELINE.json`
+//! ratchet (see [`baseline`]): existing debt is held, new debt fails the
+//! run, and the baseline only ever moves down. `check --json` emits the
+//! machine-readable report.
 
+pub mod baseline;
 pub mod config;
+pub mod items;
 pub mod lexer;
 pub mod lints;
 
+pub use baseline::Baseline;
 pub use config::{Config, ConfigError};
-pub use lints::{check_source, Finding};
+pub use lints::{check_source, Finding, LINT_IDS};
 
 use std::fs;
 use std::io;
@@ -39,6 +57,67 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files checked.
     pub files_checked: usize,
+}
+
+impl Report {
+    /// Per-lint finding counts, in [`LINT_IDS`] order (every id present,
+    /// zeros included) — the shape the baseline ratchet compares.
+    pub fn counts(&self) -> Vec<(&'static str, usize)> {
+        LINT_IDS
+            .iter()
+            .map(|id| (*id, self.findings.iter().filter(|f| f.lint == *id).count()))
+            .collect()
+    }
+
+    /// Renders the machine-readable report: files checked, per-lint
+    /// counts, and every finding. Output is byte-stable for a given tree
+    /// (fixed lint order, findings sorted by file/line/lint).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"files_checked\": ");
+        out.push_str(&self.files_checked.to_string());
+        out.push_str(",\n  \"counts\": {");
+        for (i, (id, n)) in self.counts().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{id}\": {n}"));
+        }
+        out.push_str("},\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                f.lint,
+                json_escape(&f.file),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Path components that hold test or generated code the lints never

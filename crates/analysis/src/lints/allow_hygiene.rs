@@ -1,0 +1,38 @@
+//! L9: allow-annotation hygiene.
+//!
+//! An `// ros-analysis: allow(Lx, reason)` that no longer suppresses
+//! anything is debt with a misleading audit trail: the next reader
+//! assumes the exemption is load-bearing. After suppression runs, any
+//! annotation site that never fired — outside test code, for a lint that
+//! is actually enabled — becomes a finding. An `allow(L9, reason)` on or
+//! above the stale line keeps it (e.g. across a refactor that will
+//! reintroduce the suppressed code).
+
+use super::{AllowSite, Finding};
+use crate::config::Config;
+use crate::items::ItemMap;
+
+pub(crate) fn l9_stale_allows(
+    rel_path: &str,
+    sites: &[AllowSite],
+    items: &ItemMap,
+    cfg: &Config,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in sites {
+        if site.used || items.in_test(site.line) || !cfg.lint_enabled(&site.id) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: "L9",
+            file: rel_path.to_string(),
+            line: site.line,
+            message: format!(
+                "stale `allow({id})`: no {id} finding on this or the next line; remove \
+                 the annotation or re-justify it",
+                id = site.id
+            ),
+        });
+    }
+    findings
+}

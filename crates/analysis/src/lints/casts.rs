@@ -1,0 +1,38 @@
+//! L8: workspace-wide lossy-cast audit.
+//!
+//! L3 polices bare narrowing `as` casts only in the four numeric-integrity
+//! files; everywhere else a silent truncation is just as capable of
+//! corrupting a sector offset or a parity index. L8 extends the same
+//! check to the whole tree (minus the L3 files, which keep their stricter
+//! lint), with a concrete fix in the message. Existing debt is held by
+//! the committed `ANALYSIS_BASELINE.json` ratchet — the count may only
+//! go down.
+
+use super::{Finding, NARROW_TARGETS};
+use crate::lexer::Tok;
+
+pub(crate) fn l8_lossy_casts(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.is_ident("as") {
+            if let Some(ty) = code
+                .get(i + 1)
+                .filter(|n| NARROW_TARGETS.iter().any(|ty| n.is_ident(ty)))
+            {
+                findings.push(Finding {
+                    lint: "L8",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "lossy cast `as {ty}`; prefer {ty}::try_from(..) with a handled \
+                         error, an explicit mask (`& 0x..`), or annotate \
+                         allow(L8, range-argument)",
+                        ty = ty.text
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}

@@ -1,0 +1,55 @@
+//! L7: concurrency discipline — parallelism has exactly one home.
+//!
+//! The `DataPlane` (`crates/disk/src/plane.rs`) is the workspace's only
+//! sanctioned parallel executor: it splits work into fixed contiguous
+//! ranges so output is byte-identical at any thread count, and the chaos
+//! soak gates on that. Raw `thread::spawn` / `thread::scope`, lock types
+//! (`Mutex`, `RwLock`, `Condvar`), atomics, and `static mut` anywhere
+//! else would create an unaudited ordering channel, so they are findings
+//! outside the configured `[L7] files` list. A deliberate exception
+//! carries `// ros-analysis: allow(L7, reason)`.
+
+use super::Finding;
+use crate::lexer::{Tok, TokKind};
+
+/// Lock and signalling types banned outside the plane.
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+pub(crate) fn l7_concurrency(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        let hit: Option<String> = if LOCK_TYPES.iter().any(|l| t.is_ident(l)) {
+            Some(format!("lock type `{}`", t.text))
+        } else if t.kind == TokKind::Ident && t.text.starts_with("Atomic") {
+            Some(format!("atomic `{}`", t.text))
+        } else if t.is_ident("static") && code.get(i + 1).is_some_and(|n| n.is_ident("mut")) {
+            Some("`static mut`".to_string())
+        } else if t.is_ident("spawn") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            Some("`spawn(..)`".to_string())
+        } else if t.is_ident("scope")
+            && i >= 2
+            && code[i - 1].is_punct(':')
+            && code[i - 2].is_punct(':')
+            && i >= 3
+            && code[i - 3].is_ident("thread")
+        {
+            Some("`thread::scope`".to_string())
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            findings.push(Finding {
+                lint: "L7",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "{what} outside the DataPlane; route parallelism through \
+                     crates/disk/src/plane.rs (the one audited executor), or annotate \
+                     allow(L7, reason)"
+                ),
+            });
+        }
+    }
+    findings
+}

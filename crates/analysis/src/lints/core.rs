@@ -1,0 +1,378 @@
+//! The original domain lints L1–L5: wall-clock ban, panic-free library
+//! code, numeric integrity, paper citations, and typed errors.
+//!
+//! Orchestration — test-region exemption, allow-annotation suppression,
+//! lint dispatch — lives in [`super`]; these functions return *raw*
+//! findings for the dispatcher to filter.
+
+use super::{is_value_end, is_value_start, Finding, NARROW_TARGETS};
+use crate::lexer::{Tok, TokKind};
+use std::collections::HashMap;
+
+/// L1: wall-clock types in simulation-facing crates.
+///
+/// Simulated components must take time from `SimTime`; an `Instant` or
+/// `SystemTime` smuggles host wall-clock time into results and destroys
+/// run-to-run reproducibility.
+pub(crate) fn l1_wall_clock(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for t in code {
+        if t.is_ident("Instant") || t.is_ident("SystemTime") {
+            findings.push(Finding {
+                lint: "L1",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "wall-clock type `{}` in a simulation-facing crate; model time with \
+                     ros_sim::SimTime so runs stay deterministic",
+                    t.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// L2: `unwrap()` / `expect()` / `panic!` in non-test library code.
+pub(crate) fn l2_panic_paths(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+        };
+        if method_call("unwrap") || method_call("expect") {
+            findings.push(Finding {
+                lint: "L2",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` in library code; propagate the crate's typed error instead, \
+                     or annotate why this cannot fail",
+                    t.text
+                ),
+            });
+        } else if (t.is_ident("panic") || t.is_ident("unreachable") || t.is_ident("todo"))
+            && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            findings.push(Finding {
+                lint: "L2",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}!` in library code; return an error instead, or annotate why \
+                     this branch is unreachable",
+                    t.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// L3: bare narrowing casts and unchecked `+` / `*` in numeric-integrity
+/// modules (parity math, burn-speed integration, the simulation clock).
+pub(crate) fn l3_numeric_integrity(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.is_ident("as")
+            && code
+                .get(i + 1)
+                .is_some_and(|n| NARROW_TARGETS.iter().any(|ty| n.is_ident(ty)))
+        {
+            findings.push(Finding {
+                lint: "L3",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "bare narrowing cast `as {}`; use try_from / masking, or annotate the \
+                     range argument",
+                    code[i + 1].text
+                ),
+            });
+            continue;
+        }
+        let op = if t.is_punct('+') {
+            "+"
+        } else if t.is_punct('*') {
+            "*"
+        } else {
+            continue;
+        };
+        let compound = code.get(i + 1).is_some_and(|n| n.is_punct('='));
+        let binary = is_value_end(code.get(i.wrapping_sub(1)).copied())
+            && (compound || is_value_start(code.get(i + 1).copied()));
+        if i > 0 && binary {
+            findings.push(Finding {
+                lint: "L3",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "unchecked `{}{}`; use checked/saturating arithmetic, or annotate why \
+                     overflow is impossible",
+                    op,
+                    if compound { "=" } else { "" }
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// L4: numeric constants in parameter files must cite the paper.
+///
+/// Every `const` or `fn` item in a `params.rs` that contains a numeric
+/// literal needs a comment — attached doc comment or a comment inside the
+/// item — citing where the number comes from (`§4.2`, `Table 3`, `Fig 8`).
+pub(crate) fn l4_paper_citations(rel_path: &str, toks: &[Tok], code: &[&Tok]) -> Vec<Finding> {
+    // Comments by line, for attachment lookups.
+    let mut comment_lines: HashMap<usize, String> = HashMap::new();
+    for t in toks {
+        if t.kind == TokKind::Comment {
+            comment_lines.entry(t.line).or_default().push_str(&t.text);
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        let t = code[i];
+        let (is_const, is_fn) = (t.is_ident("const"), t.is_ident("fn"));
+        if !is_const && !is_fn {
+            i += 1;
+            continue;
+        }
+        // `const` inside a fn signature (`const fn`) is part of the fn item.
+        if is_const && code.get(i + 1).is_some_and(|n| n.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let name = code.get(i + 1).map(|n| n.text.clone()).unwrap_or_default();
+        let start = i;
+        let end = item_end_index(code, i, is_const);
+        let span_has_number = code[start..=end.min(code.len() - 1)]
+            .iter()
+            .any(|t| t.kind == TokKind::Num);
+        if span_has_number {
+            let first_line = t.line;
+            let last_line = code[end.min(code.len() - 1)].line;
+            let mut text = String::new();
+            // Attached comments: contiguous comment lines directly above.
+            let mut l = first_line;
+            while l > 1 && comment_lines.contains_key(&(l - 1)) {
+                l -= 1;
+                text.push_str(&comment_lines[&l]);
+                text.push(' ');
+            }
+            // Plus comments inside the item span.
+            for line in first_line..=last_line {
+                if let Some(c) = comment_lines.get(&line) {
+                    text.push_str(c);
+                    text.push(' ');
+                }
+            }
+            if !has_citation(&text) {
+                findings.push(Finding {
+                    lint: "L4",
+                    file: rel_path.to_string(),
+                    line: first_line,
+                    message: format!(
+                        "parameter `{name}` has no paper citation; add a comment pointing \
+                         at the source (e.g. `§4.2`, `Table 3`, `Fig 8`)"
+                    ),
+                });
+            }
+        }
+        i = end + 1;
+    }
+    findings
+}
+
+/// Index of the last token of the item starting at `start`.
+fn item_end_index(code: &[&Tok], start: usize, is_const: bool) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if !is_const && depth == 0 {
+                return i;
+            }
+        } else if t.is_punct(';') && depth == 0 && is_const {
+            return i;
+        } else if t.is_punct(';') && depth == 0 && !is_const && i > start {
+            // Bodyless fn (trait method); shouldn't appear in params files.
+            return i;
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// True if comment text cites the paper: a `§` section, a numbered table
+/// or figure, or an explicit `paper` reference.
+fn has_citation(text: &str) -> bool {
+    if text.contains('§') || text.to_lowercase().contains("paper") {
+        return true;
+    }
+    let lower = text.to_lowercase();
+    for marker in ["table", "fig"] {
+        let mut rest = lower.as_str();
+        while let Some(pos) = rest.find(marker) {
+            let after = &rest[pos + marker.len()..];
+            if after
+                .trim_start_matches(|c: char| c.is_alphabetic() || c == '.' || c == ' ')
+                .starts_with(|c: char| c.is_ascii_digit())
+            {
+                return true;
+            }
+            rest = after;
+        }
+    }
+    false
+}
+
+/// L5: public `Result`-returning APIs must use a typed error, not
+/// `String` or `Box<dyn Error>` — callers need to match on failure modes.
+pub(crate) fn l5_typed_errors(rel_path: &str, code: &[&Tok]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        if code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < code.len()
+            && code[j].kind == TokKind::Ident
+            && matches!(
+                code[j].text.as_str(),
+                "async" | "unsafe" | "const" | "extern"
+            )
+        {
+            j += 1;
+        }
+        if !code.get(j).is_some_and(|t| t.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let fn_name = code.get(j + 1).map(|t| t.text.clone()).unwrap_or_default();
+        let fn_line = code[j].line;
+        if let Some(err_tokens) = return_error_type(code, j) {
+            if is_stringly_error(&err_tokens) {
+                let rendered: Vec<&str> = err_tokens.iter().map(|t| t.text.as_str()).collect();
+                findings.push(Finding {
+                    lint: "L5",
+                    file: rel_path.to_string(),
+                    line: fn_line,
+                    message: format!(
+                        "public fn `{fn_name}` returns Result<_, {}>; use the crate's typed \
+                         error enum so callers can match on failure modes",
+                        rendered.join("")
+                    ),
+                });
+            }
+        }
+        i = j + 1;
+    }
+    findings
+}
+
+/// Extracts the error-type tokens of a `-> Result<_, E>` return, if the fn
+/// starting at index `fn_idx` has one.
+fn return_error_type<'t>(code: &[&'t Tok], fn_idx: usize) -> Option<Vec<&'t Tok>> {
+    // Find the argument list and skip it.
+    let mut i = fn_idx;
+    while i < code.len() && !code[i].is_punct('(') {
+        if code[i].is_punct('{') || code[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    let mut depth = 0;
+    while i < code.len() {
+        if code[i].is_punct('(') {
+            depth += 1;
+        } else if code[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        i += 1;
+    }
+    // Expect `->` next; otherwise the fn returns unit.
+    if !(code.get(i + 1).is_some_and(|t| t.is_punct('-'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct('>')))
+    {
+        return None;
+    }
+    let mut i = i + 3;
+    // Skip a path prefix like `crate::` or `std::result::`.
+    while code.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+        && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 3).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        i += 3;
+    }
+    if !code.get(i).is_some_and(|t| t.is_ident("Result")) {
+        return None;
+    }
+    if !code.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+        return None;
+    }
+    // Collect type args at angle depth 1, split on top-level commas.
+    let mut args: Vec<Vec<&Tok>> = vec![Vec::new()];
+    let mut angle = 1;
+    let mut other = 0;
+    let mut k = i + 2;
+    while k < code.len() && angle > 0 {
+        let t = code[k];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+            if angle == 0 {
+                break;
+            }
+        } else if t.is_punct('(') || t.is_punct('[') {
+            other += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            other -= 1;
+        } else if t.is_punct(',') && angle == 1 && other == 0 {
+            args.push(Vec::new());
+            k += 1;
+            continue;
+        }
+        if let Some(last) = args.last_mut() {
+            last.push(t);
+        }
+        k += 1;
+    }
+    (args.len() >= 2).then(|| args.pop().unwrap_or_default())
+}
+
+/// True if an error type is `String`, `&str`, or `Box<dyn ...>`.
+fn is_stringly_error(err: &[&Tok]) -> bool {
+    match err.first() {
+        Some(t) if t.is_ident("String") && err.len() == 1 => true,
+        Some(t) if t.is_punct('&') => err.iter().any(|t| t.is_ident("str")),
+        Some(t) if t.is_ident("Box") => err.iter().any(|t| t.is_ident("dyn")),
+        _ => false,
+    }
+}

@@ -1,0 +1,459 @@
+//! The domain-lint catalogue and its orchestration.
+//!
+//! All lints operate on the token stream from [`crate::lexer`] plus the
+//! item-level view from [`crate::items`], so string literals and comments
+//! never produce false positives and the newer rules can reason about
+//! declarations instead of raw tokens. Test code — anything under a
+//! `#[cfg(test)]` / `#[test]` item — is exempt from every lint: the rules
+//! exist to protect simulation fidelity and durability invariants, and
+//! tests legitimately `unwrap()`, build wall-clock timers, and iterate
+//! hash maps.
+//!
+//! The catalogue:
+//! - **L1–L5** (PR 1, [`core`]): wall-clock ban, panic-free libraries,
+//!   checked arithmetic, paper citations, typed errors.
+//! - **L6** ([`order`]): no order-nondeterministic `HashMap` / `HashSet`
+//!   iteration in determinism-scoped crates.
+//! - **L7** ([`concurrency`]): raw threading and shared-state primitives
+//!   are banned outside the `DataPlane` — parallelism has one home.
+//! - **L8** ([`casts`]): workspace-wide lossy-`as` audit, extending L3's
+//!   narrowing check beyond the numeric-integrity file list.
+//! - **L9** ([`allow_hygiene`]): a stale `ros-analysis: allow(..)` that
+//!   no longer suppresses anything is itself a finding.
+
+pub mod allow_hygiene;
+pub mod casts;
+pub mod concurrency;
+pub mod core;
+pub mod order;
+
+use crate::config::Config;
+use crate::items::ItemMap;
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::HashMap;
+
+/// Every lint id the analyzer can emit, in report order. `meta` covers
+/// malformed annotations.
+pub const LINT_IDS: [&str; 10] = ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "meta"];
+
+/// Lint ids an `allow(..)` annotation may name.
+pub(crate) fn is_allowable_id(id: &str) -> bool {
+    matches!(
+        id,
+        "L1" | "L2" | "L3" | "L4" | "L5" | "L6" | "L7" | "L8" | "L9"
+    )
+}
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint id (`"L1"` .. `"L9"`, or `"meta"` for broken annotations).
+    pub lint: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Integer types a bare `as` cast can silently truncate into (L3, L8).
+/// Casts to 64-bit and `usize` targets are widening on every platform
+/// the simulator supports and are left alone.
+pub(crate) const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// One `// ros-analysis: allow(Lx, reason)` annotation site.
+pub(crate) struct AllowSite {
+    /// The lint id it suppresses.
+    pub(crate) id: String,
+    /// The line the comment sits on.
+    pub(crate) line: usize,
+    /// Whether it suppressed at least one finding.
+    pub(crate) used: bool,
+}
+
+/// Checks one source file and returns its surviving findings.
+pub fn check_source(rel_path: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let toks = lex(source);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    let items = ItemMap::parse(&code);
+    let (mut sites, cover, mut findings) = parse_allow_annotations(rel_path, &toks);
+
+    if cfg.lint_enabled("L1") && crate_in(rel_path, &cfg.l1_crates) {
+        findings.extend(core::l1_wall_clock(rel_path, &code));
+    }
+    if cfg.lint_enabled("L2") {
+        findings.extend(core::l2_panic_paths(rel_path, &code));
+    }
+    if cfg.lint_enabled("L3") && cfg.l3_files.iter().any(|f| f == rel_path) {
+        findings.extend(core::l3_numeric_integrity(rel_path, &code));
+    }
+    if cfg.lint_enabled("L4") && rel_path.ends_with(&format!("/{}", cfg.l4_file_name)) {
+        findings.extend(core::l4_paper_citations(rel_path, &toks, &code));
+    }
+    if cfg.lint_enabled("L5") {
+        findings.extend(core::l5_typed_errors(rel_path, &code));
+    }
+    if cfg.lint_enabled("L6") && crate_in(rel_path, &cfg.l6_crates) {
+        findings.extend(order::l6_iteration_order(rel_path, &code, &items));
+    }
+    if cfg.lint_enabled("L7") && !cfg.l7_files.iter().any(|f| f == rel_path) {
+        findings.extend(concurrency::l7_concurrency(rel_path, &code));
+    }
+    if cfg.lint_enabled("L8") && !cfg.l3_files.iter().any(|f| f == rel_path) {
+        findings.extend(casts::l8_lossy_casts(rel_path, &code));
+    }
+
+    // Resolve: drop findings in test regions, apply allow suppressions
+    // (marking each site that fired), then audit the unused sites (L9).
+    findings.retain(|f| {
+        let suppressed = cover.get(&f.line).is_some_and(|idxs| {
+            let mut hit = false;
+            for &s in idxs {
+                if sites[s].id == f.lint {
+                    hit = true;
+                }
+            }
+            if hit {
+                for &s in idxs {
+                    if sites[s].id == f.lint {
+                        sites[s].used = true;
+                    }
+                }
+            }
+            hit
+        });
+        if suppressed {
+            return false;
+        }
+        !(items.in_test(f.line) && f.lint != "meta")
+    });
+
+    if cfg.lint_enabled("L9") {
+        let stale = allow_hygiene::l9_stale_allows(rel_path, &sites, &items, cfg);
+        // A stale-allow finding can itself be silenced by an
+        // `allow(L9, ..)` on the same or the preceding line.
+        for f in stale {
+            let suppressed = cover.get(&f.line).is_some_and(|idxs| {
+                let mut hit = false;
+                for &s in idxs {
+                    if sites[s].id == "L9" {
+                        hit = true;
+                    }
+                }
+                if hit {
+                    for &s in idxs {
+                        if sites[s].id == "L9" {
+                            sites[s].used = true;
+                        }
+                    }
+                }
+                hit
+            });
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.lint));
+    // L7 collapses to one finding per line: `thread::scope(|s|
+    // s.spawn(..))` is one violation, not two. Other lints keep
+    // per-occurrence findings (`a.unwrap(); b.unwrap();` is two).
+    findings.dedup_by(|a, b| a.lint == "L7" && b.lint == "L7" && a.line == b.line);
+    findings
+}
+
+/// True if `rel_path` belongs to a crate named in `crates` (directory
+/// names under `crates/`).
+pub(crate) fn crate_in(rel_path: &str, crates: &[String]) -> bool {
+    let mut parts = rel_path.split('/');
+    parts.next() == Some("crates") && parts.next().is_some_and(|c| crates.iter().any(|k| k == c))
+}
+
+/// Parses `// ros-analysis: allow(Lx, reason)` comments.
+///
+/// An annotation suppresses matching findings on its own line and on the
+/// following line, so it can sit at the end of the offending line or on
+/// its own line directly above. A missing reason is itself reported: the
+/// reason is the audit trail, not decoration. Returns the annotation
+/// sites, a line → site-index cover map, and any `meta` findings.
+#[allow(clippy::type_complexity)]
+fn parse_allow_annotations(
+    rel_path: &str,
+    toks: &[Tok],
+) -> (Vec<AllowSite>, HashMap<usize, Vec<usize>>, Vec<Finding>) {
+    let mut sites: Vec<AllowSite> = Vec::new();
+    let mut cover: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut findings = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let Some(rest) = t.text.trim().strip_prefix("ros-analysis:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let parsed = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+            .and_then(|inner| {
+                let (id, reason) = inner.split_once(',')?;
+                let id = id.trim();
+                let reason = reason.trim();
+                (is_allowable_id(id) && !reason.is_empty()).then(|| id.to_string())
+            });
+        match parsed {
+            Some(id) => {
+                let idx = sites.len();
+                sites.push(AllowSite {
+                    id,
+                    line: t.line,
+                    used: false,
+                });
+                cover.entry(t.line).or_default().push(idx);
+                cover.entry(t.line + 1).or_default().push(idx);
+            }
+            None => findings.push(Finding {
+                lint: "meta",
+                file: rel_path.to_string(),
+                line: t.line,
+                message: format!(
+                    "malformed annotation `{}`; expected `ros-analysis: allow(Lx, reason)` \
+                     with a non-empty reason",
+                    t.text.trim()
+                ),
+            }),
+        }
+    }
+    (sites, cover, findings)
+}
+
+/// True if a token can end a value expression (making a following `+`/`*`
+/// a binary operator rather than a unary deref/reference).
+pub(crate) fn is_value_end(t: Option<&Tok>) -> bool {
+    t.is_some_and(|t| {
+        (matches!(t.kind, TokKind::Ident | TokKind::Num | TokKind::Lit) && !is_keyword(&t.text))
+            || t.is_punct(')')
+            || t.is_punct(']')
+    })
+}
+
+/// Keywords that may precede `*` / `+` without forming a binary
+/// expression (`match *self`, `return *x`, ...).
+pub(crate) fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "match"
+            | "return"
+            | "if"
+            | "else"
+            | "while"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "yield"
+            | "box"
+            | "await"
+    )
+}
+
+/// True if a token can start a value expression.
+pub(crate) fn is_value_start(t: Option<&Tok>) -> bool {
+    t.is_some_and(|t| {
+        matches!(t.kind, TokKind::Ident | TokKind::Num | TokKind::Lit)
+            || t.is_punct('(')
+            || t.is_punct('*')
+            || t.is_punct('&')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            l1_crates: vec!["sim".to_string()],
+            l3_files: vec!["crates/disk/src/parity.rs".to_string()],
+            l6_crates: vec!["olfs".to_string()],
+            l7_files: vec!["crates/disk/src/plane.rs".to_string()],
+            ..Config::default()
+        }
+    }
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        check_source(path, src, &cfg())
+    }
+
+    #[test]
+    fn l1_flags_wall_clock_only_in_scoped_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        let hits = lint("crates/sim/src/clock.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "L1");
+        assert!(lint("crates/tco/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_unwrap_expect_panic() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); x.expect(\"y\"); panic!(\"z\"); }";
+        let hits = lint("crates/sim/src/a.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.lint == "L2").count(), 3);
+    }
+
+    #[test]
+    fn l2_ignores_tests_and_comments_and_strings() {
+        let src = r#"
+            // calling unwrap() here would panic!()
+            fn f() { let s = "don't unwrap() this"; }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { None::<u8>.unwrap(); }
+            }
+        "#;
+        assert!(lint("crates/sim/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert_eq!(lint("crates/sim/src/a.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_with_reason() {
+        let same_line =
+            "fn f(x: Option<u8>) { x.unwrap(); } // ros-analysis: allow(L2, init-only) ";
+        assert!(lint("crates/sim/src/a.rs", same_line).is_empty());
+        let line_above =
+            "// ros-analysis: allow(L2, init-only)\nfn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(lint("crates/sim/src/a.rs", line_above).is_empty());
+        // A wrong lint id does not suppress — and is itself stale (L9).
+        let wrong = "fn f(x: Option<u8>) { x.unwrap(); } // ros-analysis: allow(L1, whatever)";
+        let hits = lint("crates/sim/src/a.rs", wrong);
+        let lints: Vec<&str> = hits.iter().map(|f| f.lint).collect();
+        assert_eq!(lints, vec!["L2", "L9"]);
+        let no_reason = "// ros-analysis: allow(L2)\nfn f() {}";
+        let hits = lint("crates/sim/src/a.rs", no_reason);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "meta");
+    }
+
+    #[test]
+    fn l3_flags_narrowing_and_bare_arithmetic() {
+        let src = "fn f(a: u16, b: u64) -> u8 { let x = b + 1; let y = a * a; (x as u8) }";
+        let hits = lint("crates/disk/src/parity.rs", src);
+        let lints: Vec<&str> = hits.iter().map(|f| f.lint).collect();
+        assert_eq!(lints, vec!["L3", "L3", "L3"]);
+        // Same file outside the L3 list: the cast still surfaces, via L8.
+        let other = lint("crates/disk/src/other.rs", src);
+        let lints: Vec<&str> = other.iter().map(|f| f.lint).collect();
+        assert_eq!(lints, vec!["L8"]);
+    }
+
+    #[test]
+    fn l3_skips_deref_and_widening() {
+        let src = "fn f(p: &mut u64, b: u64) { *p ^= b; let w = b as u64; let v = -b; }";
+        assert!(lint("crates/disk/src/parity.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_citations_on_numeric_params() {
+        let src = r#"
+/// Discs per tray (§3.2).
+pub const CITED: u32 = 12;
+
+/// A magic number somebody measured one afternoon.
+pub const UNCITED: u32 = 7;
+
+/// Derived, no literal — needs no citation.
+pub const DERIVED: u32 = CITED;
+
+/// Seek pause (Table 3).
+pub fn cited_fn() -> u64 { 1_700 }
+
+pub fn uncited_fn() -> u64 { 42 }
+"#;
+        let hits = lint("crates/mech/src/params.rs", src);
+        let names: Vec<&str> = hits.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(hits.len(), 2, "{names:?}");
+        assert!(hits[0].message.contains("UNCITED"));
+        assert!(hits[1].message.contains("uncited_fn"));
+        // Not a params file: exempt.
+        assert!(lint("crates/mech/src/roller.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_stringly_errors_in_public_api() {
+        let src = r#"
+pub fn bad_string(x: u8) -> Result<u8, String> { Ok(x) }
+pub fn bad_box() -> Result<(), Box<dyn std::error::Error>> { Ok(()) }
+pub fn good(x: u8) -> Result<u8, crate::Error> { Ok(x) }
+fn private() -> Result<u8, String> { Ok(1) }
+pub(crate) fn scoped() -> Result<u8, String> { Ok(1) }
+pub fn unit() {}
+pub fn generic_ok() -> Result<Vec<(String, u8)>, MyError> { Ok(vec![]) }
+"#;
+        let hits = lint("crates/access/src/api.rs", src);
+        let names: Vec<String> = hits.iter().map(|f| f.message.clone()).collect();
+        assert_eq!(hits.len(), 2, "{names:?}");
+        assert!(hits[0].message.contains("bad_string"));
+        assert!(hits[1].message.contains("bad_box"));
+    }
+
+    #[test]
+    fn l6_flags_hash_iteration_in_scoped_crates_only() {
+        let src = r#"
+struct S { m: std::collections::HashMap<u64, u32> }
+impl S {
+    fn walk(&self) -> Vec<u64> { self.m.keys().copied().collect() }
+}
+"#;
+        let hits = lint("crates/olfs/src/a.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "L6");
+        // Outside the configured crates: clean.
+        assert!(lint("crates/tco/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l7_exempts_the_plane_file() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(lint("crates/disk/src/plane.rs", src).is_empty());
+        let hits = lint("crates/disk/src/raid.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "L7");
+    }
+
+    #[test]
+    fn l9_flags_stale_allow() {
+        let src = "// ros-analysis: allow(L2, removed long ago)\nfn f() { let x = 1; }";
+        let hits = lint("crates/sim/src/a.rs", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].lint, "L9");
+        assert!(hits[0].message.contains("L2"));
+    }
+
+    #[test]
+    fn l9_itself_can_be_allowed() {
+        let src = "// ros-analysis: allow(L9, annotation kept for the next refactor)\n\
+                   // ros-analysis: allow(L2, removed long ago)\nfn f() { let x = 1; }";
+        assert!(lint("crates/sim/src/a.rs", src).is_empty());
+    }
+}

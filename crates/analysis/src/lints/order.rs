@@ -1,0 +1,244 @@
+//! L6: order-nondeterministic iteration over hash containers.
+//!
+//! `std::collections::HashMap` / `HashSet` iterate in a per-instance
+//! random order (the hasher is seeded per map), which silently breaks the
+//! repo's digest-equality reproducibility gates. In determinism-scoped
+//! crates, iterating a name the [item pass](crate::items) resolved to a
+//! hash container — `for x in m`, `.iter()`, `.keys()`, `.values()`,
+//! `.drain()`, `.into_iter()` — is a finding unless the site provably
+//! does not observe the order:
+//!
+//! - the statement sorts (`sort*` / `sorted` anywhere in the chain), or
+//! - the chain lands in an ordered sink (`BTreeMap` / `BTreeSet` /
+//!   `BinaryHeap` in a collect turbofish or type annotation), or
+//! - the chain ends in an order-insensitive reduction (`sum`, `count`,
+//!   `min*` / `max*`, `any`, `all`, `product`), or
+//! - the statement is a `let name = ...collect()` whose binding is
+//!   sorted later in the file (the collect-then-sort idiom).
+//!
+//! Everything else needs a `// ros-analysis: allow(L6, reason)` — the
+//! reason being why order cannot reach observable state.
+
+use super::Finding;
+use crate::items::ItemMap;
+use crate::lexer::{Tok, TokKind};
+
+/// Iterator-producing methods that expose hash order. `retain` is left
+/// out: its visit order is unobservable when the predicate is pure, and
+/// flagging it would push call sites toward annotations with no
+/// determinism payoff.
+const ITER_METHODS: [&str; 7] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Chain members that make the observed order irrelevant.
+const ORDER_FREE_REDUCTIONS: [&str; 11] = [
+    "sum",
+    "product",
+    "count",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "any",
+    "all",
+];
+
+/// Ordered collection sinks: collecting into one re-sorts by key.
+const ORDERED_SINKS: [&str; 3] = ["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+pub(crate) fn l6_iteration_order(rel_path: &str, code: &[&Tok], items: &ItemMap) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    for i in 0..code.len() {
+        // Shape 1: `recv.method(` where recv is a known hash name.
+        if code[i].is_punct('.')
+            && code
+                .get(i + 1)
+                .is_some_and(|t| ITER_METHODS.iter().any(|m| t.is_ident(m)))
+            && code.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let recv_is_hash = i > 0
+                && code[i - 1].kind == TokKind::Ident
+                && items.hash_names.contains(&code[i - 1].text);
+            if recv_is_hash && !site_is_order_free(code, i, items) {
+                findings.push(finding(
+                    rel_path,
+                    code[i + 1].line,
+                    &code[i - 1].text,
+                    &code[i + 1].text,
+                ));
+            }
+        }
+
+        // Shape 2: `for pat in <expr referencing a hash name> {`.
+        if code[i].is_ident("for") {
+            let Some(in_idx) = find_loop_in(code, i) else {
+                continue;
+            };
+            let Some(body) = find_loop_body(code, in_idx) else {
+                continue;
+            };
+            let expr = &code[in_idx + 1..body];
+            let hash_ref = expr.iter().enumerate().find(|(k, t)| {
+                t.kind == TokKind::Ident
+                    && items.hash_names.contains(&t.text)
+                    // Not a method receiver already handled by shape 1.
+                    && !(expr.get(k + 1).is_some_and(|n| n.is_punct('.')))
+            });
+            if let Some((_, t)) = hash_ref {
+                let exempt = expr.iter().any(|t| token_is_order_free_marker(t));
+                if !exempt {
+                    findings.push(finding(rel_path, code[i].line, &t.text, "for"));
+                }
+            }
+        }
+    }
+
+    findings
+}
+
+fn finding(rel_path: &str, line: usize, name: &str, via: &str) -> Finding {
+    Finding {
+        lint: "L6",
+        file: rel_path.to_string(),
+        line,
+        message: format!(
+            "iteration over hash container `{name}` (via `{via}`) observes random \
+             per-instance order; switch to BTreeMap/BTreeSet, sort the result, or \
+             annotate allow(L6, why-order-free)"
+        ),
+    }
+}
+
+/// True if the statement around the trigger at `dot` provably discards
+/// iteration order (see the module docs for the accepted shapes).
+fn site_is_order_free(code: &[&Tok], dot: usize, items: &ItemMap) -> bool {
+    let end = statement_end(code, dot);
+    let span = &code[dot..end];
+    if span.iter().any(|t| token_is_order_free_marker(t)) {
+        return true;
+    }
+    // Collect-then-sort across statements: `let [mut] name = ...collect..;`
+    // followed anywhere later in the enclosing item by `name.sort*`.
+    if span.iter().any(|t| t.is_ident("collect")) {
+        if let Some(bound) = statement_binding(code, dot) {
+            let item_end = items
+                .enclosing_item(dot)
+                .map(|it| it.end_tok)
+                .unwrap_or(code.len() - 1);
+            for k in end..=item_end.min(code.len().saturating_sub(1)) {
+                if code[k].is_ident(&bound)
+                    && code.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                    && code
+                        .get(k + 2)
+                        .is_some_and(|t| t.kind == TokKind::Ident && t.text.starts_with("sort"))
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// A token whose presence in the statement makes order irrelevant.
+fn token_is_order_free_marker(t: &Tok) -> bool {
+    if t.kind != TokKind::Ident {
+        return false;
+    }
+    t.text.starts_with("sort")
+        || t.text == "sorted"
+        || ORDERED_SINKS.iter().any(|s| t.text == *s)
+        || ORDER_FREE_REDUCTIONS.iter().any(|r| t.text == *r)
+}
+
+/// Index one past the last token of the statement containing `from`: the
+/// `;` at relative bracket depth 0, or the closing brace of the enclosing
+/// block.
+fn statement_end(code: &[&Tok], from: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return i;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// If the statement containing `from` starts with `let [mut] name =`,
+/// returns `name`.
+fn statement_binding(code: &[&Tok], from: usize) -> Option<String> {
+    // Walk back to the statement opener.
+    let mut i = from;
+    while i > 0 {
+        let t = code[i - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        i -= 1;
+    }
+    let mut j = i;
+    if !code.get(j).is_some_and(|t| t.is_ident("let")) {
+        return None;
+    }
+    j += 1;
+    if code.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    code.get(j)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Index of the `in` keyword of the `for` loop at `for_idx`.
+fn find_loop_in(code: &[&Tok], for_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, t) in code.iter().enumerate().skip(for_idx + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_ident("in") && depth == 0 {
+            return Some(off);
+        } else if t.is_punct('{') || t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}
+
+/// Index of the loop body's opening `{` after the `in` at `in_idx`.
+fn find_loop_body(code: &[&Tok], in_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (off, t) in code.iter().enumerate().skip(in_idx + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') && depth == 0 {
+            return Some(off);
+        } else if t.is_punct(';') {
+            return None;
+        }
+    }
+    None
+}

@@ -2,18 +2,32 @@
 //!
 //! ```text
 //! cargo run -p ros-analysis -- check [--root DIR] [--config FILE]
+//!                                    [--json] [--baseline FILE]
+//!                                    [--update-baseline]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings reported, `2` usage or I/O error.
+//! If `ANALYSIS_BASELINE.json` exists at the root (or `--baseline` names
+//! a file), per-lint counts are ratcheted against it: findings within the
+//! baseline are held silently, any lint whose count rises fails the run.
+//! `--update-baseline` rewrites the file with the current counts and
+//! refuses to raise any entry — the ratchet only moves down.
+//!
+//! Exit codes: `0` clean (or within baseline), `1` findings over
+//! baseline, `2` usage or I/O error.
 
-use ros_analysis::{check_tree, Config};
+use ros_analysis::{check_tree, Baseline, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: ros-analysis check [--root DIR] [--config FILE]
+const USAGE: &str = "usage: ros-analysis check [--root DIR] [--config FILE] [--json] \
+[--baseline FILE] [--update-baseline]
 
-Audits workspace sources against the domain lints L1..L5 configured in
-analysis.toml. See crates/analysis/src/lib.rs for the rule catalogue.";
+Audits workspace sources against the domain lints L1..L9 configured in
+analysis.toml, ratcheted against ANALYSIS_BASELINE.json when present.
+See crates/analysis/src/lib.rs for the rule catalogue.";
+
+/// Baseline file name looked up at the workspace root by default.
+const BASELINE_FILE: &str = "ANALYSIS_BASELINE.json";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -30,6 +44,9 @@ fn run(args: Vec<String>) -> Result<usize, String> {
     let mut command = None;
     let mut root = PathBuf::from(".");
     let mut config_path = None;
+    let mut baseline_path = None;
+    let mut json = false;
+    let mut update_baseline = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -40,6 +57,13 @@ fn run(args: Vec<String>) -> Result<usize, String> {
                     it.next().ok_or("--config needs a file argument")?,
                 ))
             }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file argument")?,
+                ))
+            }
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
@@ -54,13 +78,69 @@ fn run(args: Vec<String>) -> Result<usize, String> {
     let cfg = Config::parse(&text).map_err(|e| e.to_string())?;
 
     let report = check_tree(&root, &cfg).map_err(|e| format!("walk failed: {e}"))?;
+    let counts = report.counts();
+
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let committed = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            Some(Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display())),
+    };
+
+    if update_baseline {
+        let live = Baseline::from_counts(&counts);
+        if let Some(committed) = &committed {
+            let raised: Vec<String> = counts
+                .iter()
+                .filter(|(id, n)| *n > committed.get(id))
+                .map(|(id, n)| format!("{id}: {n} > {}", committed.get(id)))
+                .collect();
+            if !raised.is_empty() {
+                return Err(format!(
+                    "refusing to raise the baseline ({}); fix or annotate the new findings \
+                     instead",
+                    raised.join(", ")
+                ));
+            }
+        }
+        std::fs::write(&baseline_path, live.render())
+            .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+        println!(
+            "ros-analysis: baseline written to {} ({} finding(s) held)",
+            baseline_path.display(),
+            report.findings.len()
+        );
+        return Ok(0);
+    }
+
+    let baseline = committed.unwrap_or_else(Baseline::zero);
+    let exceeded = baseline.exceeded(&counts);
+    let over_lints: Vec<&str> = exceeded.iter().map(|(id, _, _)| *id).collect();
+
+    if json {
+        print!("{}", report.to_json());
+        return Ok(over_lints.len());
+    }
+
+    let mut shown = 0usize;
     for finding in &report.findings {
-        println!("{finding}");
+        if over_lints.contains(&finding.lint) {
+            println!("{finding}");
+            shown += 1;
+        }
+    }
+    for (id, live, held) in &exceeded {
+        println!("ros-analysis: {id}: {live} finding(s) exceeds baseline {held}");
     }
     println!(
         "ros-analysis: {} finding(s) in {} file(s) checked",
-        report.findings.len(),
-        report.files_checked
+        shown, report.files_checked
     );
-    Ok(report.findings.len())
+    let held = report.findings.len() - shown;
+    if held > 0 {
+        println!("ros-analysis: {held} finding(s) within {BASELINE_FILE}");
+    }
+    Ok(shown)
 }

@@ -66,6 +66,30 @@ fn l5_flags_stringly_typed_result_api() {
 }
 
 #[test]
+fn l6_flags_hash_iteration_but_not_reductions_or_sorts() {
+    // The fixture also contains a `.values().sum()` reduction and a
+    // collect-then-sort, which must stay exempt — exactly one finding.
+    assert_one_finding("l6", "L6", "crates/olfs/src/engine.rs", 7);
+}
+
+#[test]
+fn l7_flags_lock_outside_the_plane() {
+    // The fixture's plane.rs uses thread::scope legally; only the
+    // cluster-side Mutex is a finding.
+    assert_one_finding("l7", "L7", "crates/cluster/src/supervise.rs", 5);
+}
+
+#[test]
+fn l8_flags_lossy_cast_workspace_wide() {
+    assert_one_finding("l8", "L8", "crates/olfs/src/cache.rs", 5);
+}
+
+#[test]
+fn l9_flags_stale_allow_annotation() {
+    assert_one_finding("l9", "L9", "crates/olfs/src/engine.rs", 6);
+}
+
+#[test]
 fn annotated_exception_is_clean() {
     let out = run_check(&fixture("clean"));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -79,16 +103,113 @@ fn annotated_exception_is_clean() {
 
 #[test]
 fn workspace_head_is_clean() {
-    // The real tree, with the real analysis.toml: the repository must
-    // stay lint-clean (intentional exceptions are annotated in place).
+    // The real tree, with the real analysis.toml and the committed
+    // ANALYSIS_BASELINE.json: the repository must stay at or below the
+    // ratchet (intentional exceptions are annotated in place, accepted
+    // debt is held by the baseline).
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let out = run_check(&root);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(
         out.status.code(),
         Some(0),
-        "workspace HEAD must be lint-clean:\n{stdout}"
+        "workspace HEAD must be lint-clean over baseline:\n{stdout}"
     );
+    assert!(stdout.contains("ros-analysis: 0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn json_report_is_stable_across_runs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_ros-analysis"))
+            .args(["check", "--json", "--root"])
+            .arg(&root)
+            .output()
+            .expect("analyzer binary runs")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        a.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&a.stdout)
+    );
+    assert_eq!(a.stdout, b.stdout, "check --json must be byte-stable");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("\"files_checked\""), "{text}");
+    assert!(text.contains("\"counts\""), "{text}");
+    assert!(text.contains("\"L6\": 0"), "{text}");
+    assert!(text.contains("\"L7\": 0"), "{text}");
+    assert!(text.contains("\"L9\": 0"), "{text}");
+}
+
+#[test]
+fn baseline_ratchet_holds_debt_and_refuses_increases() {
+    // Work in a scratch copy so the committed fixtures stay pristine.
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("ratchet-fixture");
+    let src_root = fixture("l8");
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&src_root, &scratch);
+
+    // 1. No baseline: the seeded cast is a failure.
+    let out = run_check(&scratch);
+    assert_eq!(out.status.code(), Some(1));
+
+    // 2. Accept the debt.
+    let out = Command::new(env!("CARGO_BIN_EXE_ros-analysis"))
+        .args(["check", "--update-baseline", "--root"])
+        .arg(&scratch)
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(scratch.join("ANALYSIS_BASELINE.json").is_file());
+
+    // 3. Same tree, baseline in place: held, exit 0.
+    let out = run_check(&scratch);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("within ANALYSIS_BASELINE.json"), "{stdout}");
+
+    // 4. New debt: over baseline, exit 1 with the ratchet named.
+    std::fs::write(
+        scratch.join("crates/olfs/src/fresh.rs"),
+        "pub fn shrink(x: u64) -> u16 {\n    x as u16\n}\n",
+    )
+    .expect("write new violation");
+    let out = run_check(&scratch);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("exceeds baseline"), "{stdout}");
+
+    // 5. --update-baseline refuses to ratchet upward.
+    let out = Command::new(env!("CARGO_BIN_EXE_ros-analysis"))
+        .args(["check", "--update-baseline", "--root"])
+        .arg(&scratch)
+        .output()
+        .expect("analyzer binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("refusing to raise"), "{stderr}");
+}
+
+/// Recursively copies a fixture tree.
+fn copy_tree(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).expect("create scratch dir");
+    for entry in std::fs::read_dir(from).expect("read fixture dir") {
+        let entry = entry.expect("fixture dir entry");
+        let target = to.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).expect("copy fixture file");
+        }
+    }
 }
 
 #[test]

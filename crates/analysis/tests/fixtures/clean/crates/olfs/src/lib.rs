@@ -1,7 +1,43 @@
-//! Fixture: clean code including a properly annotated exception.
+//! Fixture: clean code including properly annotated exceptions — every
+//! `allow` below suppresses a live finding, so L9 stays quiet too.
+
+use std::collections::HashMap;
 
 /// Returns the first byte of a non-empty slice.
 pub fn first_byte(data: &[u8]) -> u8 {
     // ros-analysis: allow(L2, fixture demonstrating a documented exception)
     *data.first().expect("callers pass non-empty data")
+}
+
+/// Order-insensitive reduction over a hash map: L6-exempt by shape.
+pub fn total(index: &HashMap<u64, u64>) -> u64 {
+    index.values().sum()
+}
+
+/// Visit order is observable here, and deliberately accepted.
+pub fn count_nonzero(index: &HashMap<u64, u64>) -> usize {
+    let mut n = 0;
+    // ros-analysis: allow(L6, count is independent of visit order)
+    for v in index.values() {
+        if *v != 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// A sanctioned lock, with its justification on record.
+pub struct Guarded {
+    // ros-analysis: allow(L7, fixture demonstrating a justified lock)
+    inner: std::sync::Mutex<u64>,
+}
+
+impl Guarded {
+    /// Wraps a counter.
+    pub fn new(v: u64) -> Guarded {
+        Guarded {
+            // ros-analysis: allow(L7, constructor for the justified lock above)
+            inner: std::sync::Mutex::new(v),
+        }
+    }
 }

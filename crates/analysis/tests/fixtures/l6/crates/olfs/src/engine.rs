@@ -1,0 +1,20 @@
+//! Fixture: hash-order iteration in a determinism-scoped crate (L6).
+
+use std::collections::HashMap;
+
+/// Collects image ids in whatever order the hasher grew the table.
+pub fn ids(index: &HashMap<u64, u32>) -> Vec<u64> {
+    index.keys().copied().collect()
+}
+
+/// Order-insensitive reduction: exempt without annotation.
+pub fn total(index: &HashMap<u64, u32>) -> u32 {
+    index.values().sum()
+}
+
+/// Collect-then-sort: exempt without annotation.
+pub fn sorted_ids(index: &HashMap<u64, u32>) -> Vec<u64> {
+    let mut v: Vec<u64> = index.keys().copied().collect();
+    v.sort();
+    v
+}

@@ -1,0 +1,6 @@
+//! Fixture: raw lock outside the DataPlane (L7).
+
+/// Serialises placement decisions behind a process-wide lock.
+pub struct Coordinator {
+    lock: std::sync::Mutex<()>,
+}

@@ -1,0 +1,9 @@
+//! Fixture: the sanctioned executor — threads are legal here.
+
+/// Runs `work` on two scoped threads.
+pub fn fan_out(work: impl Fn() + Sync) {
+    std::thread::scope(|s| {
+        s.spawn(&work);
+        s.spawn(&work);
+    });
+}

@@ -1,0 +1,6 @@
+//! Fixture: lossy narrowing cast outside the L3 file list (L8).
+
+/// Packs a block offset into a byte tag.
+pub fn tag(offset: u64) -> u8 {
+    (offset % 256) as u8
+}

@@ -1,0 +1,8 @@
+//! Fixture: stale allow annotation (L9) — the unwrap it once excused
+//! was refactored away, the comment stayed behind.
+
+/// Adds one, saturating.
+pub fn add_one(x: u64) -> u64 {
+    // ros-analysis: allow(L2, unwrap on a checked counter)
+    x.saturating_add(1)
+}

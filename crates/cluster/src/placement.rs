@@ -64,7 +64,7 @@ pub fn select_targets(
     replication: usize,
 ) -> Vec<RackId> {
     let ids: Vec<RackId> = candidates.iter().map(|&(r, _)| r).collect();
-    let free: std::collections::HashMap<RackId, u64> = candidates.iter().copied().collect();
+    let free: std::collections::BTreeMap<RackId, u64> = candidates.iter().copied().collect();
     rank(key, &ids)
         .into_iter()
         .filter(|r| free.get(r).is_some_and(|&f| f >= size))

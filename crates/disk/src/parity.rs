@@ -22,6 +22,7 @@
 
 use crate::gf;
 use crate::plane::DataPlane;
+// ros-analysis: allow(L7, monotonic early-exit flag for plane-driven verify; order-free)
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// The GF(2^8) reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
@@ -454,6 +455,7 @@ pub fn verify_group_with(
             return Ok(false);
         }
     }
+    // ros-analysis: allow(L7, true-to-false-only flag; the verify verdict is order-free)
     let ok = AtomicBool::new(true);
     plane.for_each_range(len, |range| {
         let mut p_block = [0u8; VERIFY_BLOCK];

@@ -228,14 +228,14 @@ mod tests {
         let mut expect = vec![0u8; len];
         DataPlane::single().for_each_chunk(&mut expect, |off, chunk| {
             for (i, b) in chunk.iter_mut().enumerate() {
-                *b = ((off + i) % 251) as u8;
+                *b = u8::try_from((off + i) % 251).expect("x % 251 < 256");
             }
         });
         for threads in [2, 3, 4, 8] {
             let mut got = vec![0u8; len];
             DataPlane::new(threads).for_each_chunk(&mut got, |off, chunk| {
                 for (i, b) in chunk.iter_mut().enumerate() {
-                    *b = ((off + i) % 251) as u8;
+                    *b = u8::try_from((off + i) % 251).expect("x % 251 < 256");
                 }
             });
             assert_eq!(got, expect, "threads={threads}");

@@ -216,7 +216,10 @@ impl VolumeManager {
         if n <= 1 {
             1.0
         } else {
-            params::STREAM_INTERFERENCE_FACTOR.powi(n as i32 - 1)
+            // Stream counts are tiny; saturate rather than wrap if a
+            // pathological caller ever opens i32::MAX streams.
+            let extra = i32::try_from(n - 1).unwrap_or(i32::MAX);
+            params::STREAM_INTERFERENCE_FACTOR.powi(extra)
         }
     }
 

@@ -147,7 +147,6 @@ impl BurnPlan {
         let mut episode_bytes_left = 0.0f64;
         let episode_bytes = match curve {
             SpeedCurve::FailSafe { failsafe_x, .. } => {
-                // ros-analysis: allow(L3, f64 product of small calibration params; cannot overflow)
                 failsafe_x
                     // ros-analysis: allow(L3, f64 product of small calibration params; cannot overflow)
                     * ros_sim::bandwidth::BLURAY_1X_BYTES_PER_SEC

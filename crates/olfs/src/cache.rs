@@ -45,6 +45,10 @@ struct Node {
 
 /// An LRU cache of disc-image residency (the bytes live in the image
 /// store; the cache tracks *which* images stay on the disk tier).
+// The two HashMaps below are point-lookup-only (insert/get/remove); the
+// LRU order itself lives in the intrusive list, so hash iteration order
+// never reaches an observable output. L6 guards against any future
+// iteration creeping in.
 #[derive(Clone, Debug)]
 pub struct ReadCache {
     capacity: usize,

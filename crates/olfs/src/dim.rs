@@ -17,7 +17,7 @@ use ros_drive::media::{Disc, DiscClass, MediaKind};
 use ros_mech::{RackLayout, SlotAddress};
 use ros_udf::SealedImage;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Disc-array state in the DAindex (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -111,12 +111,12 @@ impl ImageInfo {
 /// The image store plus DAindex/DILindex.
 #[derive(Debug, Default)]
 pub struct ImageStore {
-    images: HashMap<ImageId, ImageInfo>,
-    groups: HashMap<ArrayId, ArrayGroup>,
+    images: BTreeMap<ImageId, ImageInfo>,
+    groups: BTreeMap<ArrayId, ArrayGroup>,
     next_image: u64,
     next_group: u64,
     /// DAindex keyed by dense slot index.
-    da_index: HashMap<u32, DaState>,
+    da_index: BTreeMap<u32, DaState>,
     /// Open group accumulating data images.
     collecting: Option<ArrayId>,
 }
@@ -124,13 +124,13 @@ pub struct ImageStore {
 impl ImageStore {
     /// Creates an empty store with every tray Empty in the DAindex.
     pub fn new(layout: &RackLayout) -> Self {
-        let mut da_index = HashMap::new();
+        let mut da_index = BTreeMap::new();
         for i in 0..layout.total_slots() {
             da_index.insert(i, DaState::Empty);
         }
         ImageStore {
-            images: HashMap::new(),
-            groups: HashMap::new(),
+            images: BTreeMap::new(),
+            groups: BTreeMap::new(),
             next_image: 1,
             next_group: 1,
             da_index,
@@ -397,12 +397,12 @@ impl ImageStore {
 
     /// Serialises DAindex + DILindex for the MV state store.
     pub fn state_json(&self) -> serde_json::Value {
-        let da: HashMap<String, DaState> = self
+        let da: BTreeMap<String, DaState> = self
             .da_index
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect();
-        let dil: HashMap<String, DiscLocation> = self
+        let dil: BTreeMap<String, DiscLocation> = self
             .images
             .values()
             .filter_map(|i| i.burned.map(|b| (i.id.0.to_string(), b)))
@@ -416,16 +416,16 @@ impl ImageStore {
 #[derive(Debug)]
 pub struct DiscRegistry {
     /// Disc objects; `None` while the disc sits in a drive.
-    discs: HashMap<DiscId, Option<Disc>>,
+    discs: BTreeMap<DiscId, Option<Disc>>,
     /// Disc ids per dense slot index, bottom-first.
-    slots: HashMap<u32, Vec<DiscId>>,
+    slots: BTreeMap<u32, Vec<DiscId>>,
 }
 
 impl DiscRegistry {
     /// Populates every tray with blank WORM discs of `class`.
     pub fn new(layout: &RackLayout, class: DiscClass) -> Self {
-        let mut discs = HashMap::new();
-        let mut slots = HashMap::new();
+        let mut discs = BTreeMap::new();
+        let mut slots = BTreeMap::new();
         let mut next = 0u64;
         for i in 0..layout.total_slots() {
             let mut tray = Vec::with_capacity(layout.discs_per_tray as usize);

@@ -33,7 +33,7 @@ use ros_mech::plc::Plc;
 use ros_mech::{MechScheduler, SlotAddress};
 use ros_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use ros_udf::UdfPath;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Background events on the engine clock.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -164,31 +164,31 @@ pub struct Ros {
     pub(crate) cache: ReadCache,
     pub(crate) counters: Counters,
     pub(crate) burn_queue: VecDeque<ArrayId>,
-    burning: HashMap<usize, BurningInfo>,
+    burning: BTreeMap<usize, BurningInfo>,
     /// Bays reserved by an in-flight foreground fetch; the burn starter
     /// must not grab them.
-    reserved_bays: HashSet<usize>,
+    reserved_bays: BTreeSet<usize>,
     /// Groups whose next burn must append tracks (post-interrupt).
-    append_groups: HashSet<ArrayId>,
+    append_groups: BTreeSet<ArrayId>,
     /// Which paths each image carries (LocTag promotion & recovery).
-    pub(crate) image_paths: HashMap<ImageId, Vec<UdfPath>>,
+    pub(crate) image_paths: BTreeMap<ImageId, Vec<UdfPath>>,
     /// Per-(bay, drive) VFS-mount state (§5.4's 220 ms charge).
-    vfs_mounted: HashMap<(usize, usize), bool>,
+    vfs_mounted: BTreeMap<(usize, usize), bool>,
     /// In-place-update bookkeeping: (path, version) -> stored path.
-    pub(crate) in_place: HashMap<(String, u32), UdfPath>,
+    pub(crate) in_place: BTreeMap<(String, u32), UdfPath>,
     /// Result of the most recent (scheduled or manual) scrub pass.
     pub(crate) last_scrub: Option<crate::maintenance::ScrubReport>,
     /// Last access instant per (bay, drive); drives spin down after
     /// `ros_drive::params::sleep_after_idle()` (§5.4).
-    drive_last_used: HashMap<(usize, usize), SimTime>,
+    drive_last_used: BTreeMap<(usize, usize), SimTime>,
     /// Versions whose bytes were physically overwritten by a later
     /// in-place bucket update (§4.6) and can no longer be read.
-    pub(crate) overwritten: HashSet<(String, u32)>,
+    pub(crate) overwritten: BTreeSet<(String, u32)>,
     /// Bays taken out of rotation after persistent drive failures; the
     /// burn starter and fetch paths route around them until serviced.
-    quarantined_bays: HashSet<usize>,
+    quarantined_bays: BTreeSet<usize>,
     /// Consecutive spoiled burns per bay; two in a row quarantines.
-    bay_burn_failures: HashMap<usize, u32>,
+    bay_burn_failures: BTreeMap<usize, u32>,
 }
 
 impl Ros {
@@ -250,17 +250,17 @@ impl Ros {
             cache,
             counters: Counters::default(),
             burn_queue: VecDeque::new(),
-            burning: HashMap::new(),
-            reserved_bays: HashSet::new(),
-            append_groups: HashSet::new(),
-            image_paths: HashMap::new(),
-            vfs_mounted: HashMap::new(),
-            in_place: HashMap::new(),
+            burning: BTreeMap::new(),
+            reserved_bays: BTreeSet::new(),
+            append_groups: BTreeSet::new(),
+            image_paths: BTreeMap::new(),
+            vfs_mounted: BTreeMap::new(),
+            in_place: BTreeMap::new(),
             last_scrub: None,
-            drive_last_used: HashMap::new(),
-            overwritten: HashSet::new(),
-            quarantined_bays: HashSet::new(),
-            bay_burn_failures: HashMap::new(),
+            drive_last_used: BTreeMap::new(),
+            overwritten: BTreeSet::new(),
+            quarantined_bays: BTreeSet::new(),
+            bay_burn_failures: BTreeMap::new(),
             cfg,
         })
     }
@@ -1200,7 +1200,8 @@ impl Ros {
                 DiscLocation {
                     disc,
                     slot,
-                    position: i as u32,
+                    // Group member index; bounded by the tray size.
+                    position: u32::try_from(i).unwrap_or(u32::MAX),
                 },
             );
             self.cache.unpin(*img);
@@ -2163,7 +2164,10 @@ impl Ros {
 
         // 2. In-flight burns are ruined: retire the tray, free the
         //    drives, requeue the group for a fresh-tray burn.
-        let burning: Vec<(usize, BurningInfo)> = self.burning.drain().collect();
+        // BTreeMap has no drain(); take the whole map, yielding bays in
+        // ascending order.
+        let burning: Vec<(usize, BurningInfo)> =
+            std::mem::take(&mut self.burning).into_iter().collect();
         let aborted = burning.len();
         for (bay, info) in burning {
             let group = match self.store.group(info.group) {

@@ -19,7 +19,7 @@ use crate::error::OlfsError;
 use bytes::Bytes;
 use ros_faults::RetryPolicy;
 use ros_udf::UdfPath;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Open flags (the subset that matters without a kernel).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -65,7 +65,7 @@ impl OpenFlags {
 }
 
 /// A file descriptor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Fd(u64);
 
 /// `lseek` whence.
@@ -103,7 +103,7 @@ struct Handle {
 pub struct PosixFs {
     ros: Ros,
     next_fd: u64,
-    handles: HashMap<Fd, Handle>,
+    handles: BTreeMap<Fd, Handle>,
     /// Retry policy applied to the whole-file transfers behind `open`
     /// (append/read seeding) and `close` (version commit). Defaults to
     /// no retries: transient faults surface immediately.
@@ -116,7 +116,7 @@ impl PosixFs {
         PosixFs {
             ros,
             next_fd: 3, // 0-2 are traditionally taken.
-            handles: HashMap::new(),
+            handles: BTreeMap::new(),
             retry_policy: RetryPolicy::none(),
         }
     }

@@ -21,7 +21,7 @@ use crate::mv::MetadataVolume;
 use crate::wbm::{parse_link_file_name, LinkFile};
 use ros_sim::SimDuration;
 use ros_udf::{SealedImage, UdfPath};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Directory MV snapshots are written under.
 pub const MV_SNAPSHOT_DIR: &str = "/.mv-snapshots";
@@ -117,7 +117,7 @@ impl Ros {
             offset: u64,
         }
         // (path, image) -> continuation info from link files.
-        let mut continuations: HashMap<(String, u64), Continuation> = HashMap::new();
+        let mut continuations: BTreeMap<(String, u64), Continuation> = BTreeMap::new();
         // original path -> versions found as shadows.
         let mut shadows: BTreeMap<String, Vec<(u32, ImageId, u64)>> = BTreeMap::new();
         // regular occurrences: (path, image, len).
