@@ -174,7 +174,7 @@ pub fn unescape_key(escaped: &str) -> String {
     while i < bytes.len() {
         if bytes[i] == b'%' {
             if let (Some(&h), Some(&l)) = (bytes.get(i + 1), bytes.get(i + 2)) {
-                let hex = |c: u8| (c as char).to_digit(16).map(|d| d as u8);
+                let hex = |c: u8| (c as char).to_digit(16).and_then(|d| u8::try_from(d).ok());
                 if let (Some(h), Some(l)) = (hex(h), hex(l)) {
                     out.push(h * 16 + l);
                     i += 3;

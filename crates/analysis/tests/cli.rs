@@ -90,6 +90,15 @@ fn l9_flags_stale_allow_annotation() {
 }
 
 #[test]
+fn cas_crate_is_inside_the_determinism_scope() {
+    // The cas-scope fixture lists "cas" in the L1/L6 crate scope exactly
+    // as the workspace analysis.toml does; the seeded wall-clock read in
+    // crates/cas/src/lib.rs must be flagged, proving new CAS code is
+    // covered by the determinism lints from day one.
+    assert_one_finding("cas-scope", "L1", "crates/cas/src/lib.rs", 6);
+}
+
+#[test]
 fn annotated_exception_is_clean() {
     let out = run_check(&fixture("clean"));
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -1,0 +1,7 @@
+//! Fixture: wall-clock type inside the CAS crate (L1) — the store's
+//! behaviour must be clock-free for deterministic digests.
+
+/// Stamps a blob with the host clock — forbidden in the cas crate.
+pub fn blob_stamp_nanos() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,6 +1,6 @@
 //! `repro` — regenerate the paper's tables and figures from the models.
 //!
-//! Usage: `repro [table1|table2|table3|fig6|fig7|fig8|fig9|fig10|tco|power|mvrec|ablations|cluster|cluster-smoke|all]`
+//! Usage: `repro [table1|table2|table3|fig6|fig7|fig8|fig9|fig10|tco|power|mvrec|ablations|cluster|cluster-smoke|cas-smoke|all]`
 //!
 //! Perf harness: `repro perf` (text), `repro perf --json` (baseline
 //! format), `repro perf --check BENCH_hotpaths.json` (CI gate — exits
@@ -10,6 +10,11 @@
 //! (CI-sized run). Exits non-zero on acked-write loss, timeline
 //! divergence across the seeded re-run, or retry amplification past
 //! the ceiling.
+//!
+//! CAS harness: `repro cas-smoke` runs the dedup comparison (same
+//! duplicated Zipf ingest through dedup-off and dedup-on engines) and
+//! exits non-zero unless dedup burns strictly less and every alias
+//! reads back digest-exact.
 
 use ros_bench::{perf, render};
 
@@ -110,13 +115,14 @@ fn main() {
         "ablations" => render::render_ablations(),
         "cluster" => render::render_cluster(),
         "cluster-smoke" => render::render_cluster_smoke(),
+        "cas-smoke" => render::render_cas_smoke(),
         "all" => render::render_all(),
         "--json" | "json" => render::render_json(),
         other => {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: table1 table2 table3 \
                  fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations \
-                 cluster cluster-smoke all json perf chaos"
+                 cluster cluster-smoke cas-smoke all json perf chaos"
             );
             std::process::exit(2);
         }

@@ -14,6 +14,7 @@
 //! 4. **No panics** — every fault surfaces as a typed degraded result.
 
 use crate::experiments::BenchError;
+use ros_cas::{verify_payload, Digest};
 use ros_cluster::{Cluster, ClusterConfig, ClusterError};
 use ros_faults::{FaultKind, FaultPlan, FaultSink, FaultSpec, InjectionOutcome, RetryPolicy};
 use ros_sim::SimDuration;
@@ -73,6 +74,8 @@ pub struct ChaosReport {
     /// One line per injected fault (and drill), in schedule order.
     pub timeline: Vec<String>,
     /// FNV-1a digest of the timeline — the reproducibility fingerprint.
+    /// Deliberately still 64-bit FNV so historical fingerprints stay
+    /// comparable; payload integrity uses 256-bit CAS digests instead.
     pub timeline_digest: u64,
     /// Fault events that landed.
     pub injected: usize,
@@ -193,13 +196,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
     let mut cluster = Cluster::new(ccfg.clone()).map_err(|e| err(e.to_string()))?;
     let ops = chaos_spec(cfg.ops).compile(cfg.seed);
 
+    let rack_count = u32::try_from(cfg.racks).unwrap_or(u32::MAX);
     let mut spec = if cfg.heavy {
-        FaultSpec::soak(cfg.racks as u32, ops.len() as u64)
+        FaultSpec::soak(rack_count, ops.len() as u64)
     } else {
-        FaultSpec::smoke(cfg.racks as u32, ops.len() as u64)
+        FaultSpec::smoke(rack_count, ops.len() as u64)
     };
-    spec.bays = ccfg.rack.drive_bays as u32;
-    spec.drives_per_bay = ccfg.rack.drives_per_bay as u32;
+    spec.bays = u32::try_from(ccfg.rack.drive_bays).unwrap_or(u32::MAX);
+    spec.drives_per_bay = u32::try_from(ccfg.rack.drives_per_bay).unwrap_or(u32::MAX);
     let mut plan = FaultPlan::generate(cfg.seed, &spec);
 
     let policy = RetryPolicy::default();
@@ -225,9 +229,12 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
         verified: 0,
         lost: Vec::new(),
     };
-    // Latest acknowledged size per path; the zero-loss sweep reads
-    // every entry back after the storm.
-    let mut acked: BTreeMap<String, u64> = BTreeMap::new();
+    // Latest acknowledged payload digest per path (256-bit CAS content
+    // digest, not the 64-bit FNV fingerprint the timeline uses — see
+    // EXPERIMENTS.md on collision exposure); the zero-loss sweep reads
+    // every entry back after the storm and verifies by digest.
+    let mut acked: BTreeMap<String, Digest> = BTreeMap::new();
+    let verify_plane = ros_disk::DataPlane::single();
     let mut supervised_ops: u64 = 0;
 
     for (i, op) in ops.iter().enumerate() {
@@ -250,7 +257,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
             if let (FaultKind::RackOutage { rack }, InjectionOutcome::Injected) =
                 (&event.kind, &outcome)
             {
-                let victim = (*rack as usize % cfg.racks) as u32;
+                let victim = u32::try_from(*rack as usize % cfg.racks).unwrap_or(u32::MAX);
                 let drill = cluster
                     .rereplicate_after_failure(victim)
                     .map_err(|e| err(format!("drill after rack {victim} outage: {e}")))?;
@@ -282,10 +289,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
             FileOp::Write { path, size } => {
                 supervised_ops += 1;
                 let data = synth_data(path, *size);
+                let digest = Digest::of(&data);
                 match cluster.write_file_supervised(path, data.clone(), &policy) {
                     Ok((_, stats)) => {
                         report.attempts += u64::from(stats.attempts);
-                        acked.insert(path.to_string(), *size);
+                        acked.insert(path.to_string(), digest);
                         report.acked_writes += 1;
                     }
                     Err(ClusterError::PartialWrite { .. }) => {
@@ -298,7 +306,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
                         if let Ok((_, stats)) = cluster.write_file_supervised(path, data, &policy) {
                             report.attempts += u64::from(stats.attempts);
                         }
-                        acked.insert(path.to_string(), *size);
+                        acked.insert(path.to_string(), digest);
                         report.degraded_writes += 1;
                     }
                     Err(ClusterError::RetriesExhausted { attempts, .. }) => {
@@ -321,8 +329,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
                         } else {
                             report.clean_reads += 1;
                         }
-                        if let Some(size) = acked.get(&path.to_string()) {
-                            if r.data.as_ref() != synth_data(path, *size).as_slice() {
+                        if let Some(digest) = acked.get(&path.to_string()) {
+                            if verify_payload(digest, &r.data, &verify_plane).is_err() {
                                 return Err(err(format!("mid-run payload mismatch on {path}")));
                             }
                         }
@@ -361,23 +369,22 @@ pub fn run_chaos(cfg: &ChaosConfig) -> Result<ChaosReport, BenchError> {
         max_attempts: 6,
         ..RetryPolicy::default()
     };
-    // Regenerate the expected payloads on the data plane (synth_data is
-    // pure and CPU-bound), then read-compare in acked path order so the
-    // sweep result is identical at any thread count.
-    let entries: Vec<(String, ros_udf::UdfPath, u64)> = acked
+    // Read every acked path back in path order and verify it against
+    // the digest recorded at ack time. The content digest is
+    // thread-count invariant, so the sweep result is identical at any
+    // plane width.
+    let entries: Vec<(String, ros_udf::UdfPath, Digest)> = acked
         .iter()
-        .map(|(path_str, size)| {
+        .map(|(path_str, digest)| {
             let path: ros_udf::UdfPath = path_str
                 .parse()
                 .map_err(|_| err(format!("tracked path invalid: {path_str}")))?;
-            Ok((path_str.clone(), path, *size))
+            Ok((path_str.clone(), path, *digest))
         })
         .collect::<Result<_, BenchError>>()?;
-    let expected: Vec<Vec<u8>> = ros_disk::DataPlane::with_threads(0)
-        .map(&entries, |(_, path, size)| synth_data(path, *size));
-    for ((path_str, path, _), want) in entries.iter().zip(&expected) {
+    for (path_str, path, digest) in &entries {
         match cluster.read_file_supervised(path, &sweep_policy) {
-            Ok((r, _)) if r.data.as_ref() == want.as_slice() => {
+            Ok((r, _)) if verify_payload(digest, &r.data, &verify_plane).is_ok() => {
                 report.verified += 1;
             }
             Ok(_) => report.lost.push(format!("{path_str}: payload corrupted")),

@@ -175,7 +175,7 @@ pub fn cluster_failure_drill(racks: usize, ops: usize) -> Result<ClusterDrillSum
         .map_err(|e| err(format!("MV replication: {e}")))?;
     // Fail the busiest surviving candidate deterministically: rack 1 (a
     // middle member; rack 0 stays up as the reader's reference point).
-    let victim = 1u32.min(racks as u32 - 1);
+    let victim = 1u32.min(u32::try_from(racks).unwrap_or(u32::MAX) - 1);
     cluster
         .fail_rack(victim)
         .map_err(|e| err(format!("fail rack {victim}: {e}")))?;

@@ -96,6 +96,7 @@ fn table1_config() -> RosConfig {
         seed: 7,
         rack_id: 0,
         data_plane_threads: 0,
+        dedup: false,
     }
 }
 
@@ -461,7 +462,7 @@ pub fn mv_recovery_model(discs: u32, bytes_per_disc: u64) -> Result<SimDuration,
     let mut sched = MechScheduler::new(Plc::new_full(layout), bays);
     let read_per_disc = drive_params::read_speed_bd100().time_for(bytes_per_disc);
     for round in 0..rounds {
-        let slot = layout.slot_at((round * bays) as u32);
+        let slot = layout.slot_at(u32::try_from(round * bays).unwrap_or(u32::MAX));
         // Discs in a tray are read in parallel; the tray occupies the
         // bay for load + slowest read + unload.
         let load = sched.load_array(slot, 0).map_err(e)?.duration;

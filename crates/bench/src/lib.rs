@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cas;
 pub mod chaos;
 pub mod cluster;
 pub mod experiments;

@@ -15,6 +15,14 @@
 //! the 1-vs-4-thread output mismatch byte count, tracked at 0 so any
 //! determinism break in the data plane fails the gate.
 //!
+//! A third section covers the CAS subsystem: content-digest throughput
+//! at 1 and N threads (untracked MB/s), the 1-vs-4-thread digest
+//! mismatch byte count (tracked at 0 — the chunked digest must be
+//! thread-count invariant), the measured dedup ratio of the smoke
+//! workload (untracked) and its **burn cost ratio** — dedup images over
+//! plain images for the same ingest — tracked so dedup regressing to
+//! "burns as much as plain" fails the gate.
+//!
 //! `repro perf --json` emits the report in the committed
 //! `BENCH_hotpaths.json` format; `repro perf --check <baseline>` fails
 //! (non-zero exit) when any tracked metric regresses more than
@@ -444,6 +452,82 @@ fn parity_metrics(reps: usize) -> Vec<PerfMetric> {
     ]
 }
 
+/// Corpus for the digest throughput measurements: large enough that the
+/// chunked digest actually fans out (32 x 256 KiB chunks).
+const DIGEST_CORPUS_BYTES: usize = 8 << 20;
+
+/// Measures the CAS subsystem: content-digest throughput at 1 and N
+/// threads, the thread-count digest invariance (must be 0 differing
+/// bytes), and the dedup smoke comparison's ratio metrics.
+fn cas_metrics(reps: usize) -> Vec<PerfMetric> {
+    let mut state = 0x000C_A5D1_6E57_u64;
+    let mut corpus = vec![0u8; DIGEST_CORPUS_BYTES];
+    for chunk in corpus.chunks_mut(8) {
+        let word = next_id(&mut state).to_le_bytes();
+        for (dst, src) in chunk.iter_mut().zip(word.iter()) {
+            *dst = *src;
+        }
+    }
+    let single = DataPlane::new(1);
+    let quad = DataPlane::new(4);
+    let multi = DataPlane::detect();
+
+    let digest_1t = median_mb_per_sec(DIGEST_CORPUS_BYTES, reps, || {
+        black_box(ros_cas::content_digest(&corpus, &single));
+    });
+    let digest_mt = median_mb_per_sec(DIGEST_CORPUS_BYTES, reps, || {
+        black_box(ros_cas::content_digest(&corpus, &multi));
+    });
+    let d1 = ros_cas::content_digest(&corpus, &single);
+    let d4 = ros_cas::content_digest(&corpus, &quad);
+    let mismatch = diff_bytes(d1.as_bytes(), d4.as_bytes());
+
+    // The dedup comparison: ratios are workload properties, not host
+    // speeds, so the burn cost ratio gates like the other cost ratios.
+    let (dedup_ratio, burn_cost) = match crate::cas::run_cas(&crate::cas::CasConfig::smoke()) {
+        Ok(r) => (r.dedup_ratio, r.burn_cost_ratio),
+        Err(_) => (0.0, f64::INFINITY),
+    };
+
+    vec![
+        metric(
+            "cas_digest_mb_s_1t",
+            digest_1t,
+            "MB/s",
+            false,
+            "chunked SHA-256 content digest, 1 thread",
+        ),
+        metric(
+            "cas_digest_mb_s_mt",
+            digest_mt,
+            "MB/s",
+            false,
+            "chunked SHA-256 content digest, detected threads",
+        ),
+        metric(
+            "cas_digest_mt_mismatch_bytes",
+            mismatch as f64,
+            "bytes",
+            true,
+            "digest bytes differing between 1-thread and 4-thread runs",
+        ),
+        metric(
+            "cas_dedup_ratio_smoke",
+            dedup_ratio,
+            "ratio",
+            false,
+            "logical/unique bytes on the duplicated Zipf smoke ingest",
+        ),
+        metric(
+            "dedup_burn_cost_ratio",
+            burn_cost,
+            "ratio",
+            true,
+            "dedup-engine images over plain-engine images, same ingest (< 1)",
+        ),
+    ]
+}
+
 fn metric(name: &str, value: f64, unit: &str, tracked: bool, desc: &str) -> PerfMetric {
     PerfMetric {
         name: name.to_string(),
@@ -555,6 +639,7 @@ pub fn measure(reps: usize) -> PerfReport {
         ),
     ];
     metrics.extend(parity_metrics(reps));
+    metrics.extend(cas_metrics(reps));
     PerfReport {
         schema: "BENCH_hotpaths/v1".to_string(),
         max_regression_pct: MAX_REGRESSION_PCT,

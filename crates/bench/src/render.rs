@@ -430,6 +430,47 @@ pub fn render_chaos(smoke: bool) -> Result<String, BenchError> {
     Ok(out)
 }
 
+/// Renders the CAS dedup smoke: the two-engine burn comparison and the
+/// digest read-back verdicts. The harness enforces the invariants
+/// itself (strictly fewer burns, digest-exact aliases, clean sweep), so
+/// a rendered report implies they all held.
+pub fn render_cas_smoke() -> Result<String, BenchError> {
+    let cfg = crate::cas::CasConfig::smoke();
+    let r = crate::cas::run_cas_checked(&cfg)?;
+    let mut out = hr("CAS dedup smoke: duplicated Zipf ingest, dedup off vs on");
+    out += &format!(
+        "{} writes of {} KB over {} distinct payloads ({} tenants, skew {}, seed {})\n",
+        r.writes,
+        cfg.payload_bytes / 1024,
+        cfg.distinct_payloads,
+        cfg.tenants,
+        cfg.skew,
+        cfg.seed
+    );
+    out += &format!(
+        "dedup: {} hits, {} MB never staged, blob dedup ratio {:.2}\n",
+        r.dedup_hits,
+        r.dedup_bytes_saved / (1024 * 1024),
+        r.dedup_ratio
+    );
+    out += &format!(
+        "burns: {} images plain vs {} dedup (cost ratio {:.2}); buffer {} KB vs {} KB\n",
+        r.plain_images,
+        r.dedup_images,
+        r.burn_cost_ratio,
+        r.plain_buffer_bytes / 1024,
+        r.dedup_buffer_bytes / 1024
+    );
+    out += &format!(
+        "verify: {} alias(es) digest-exact through the read path, {} lost, \
+         {} sweep mismatch(es)\n",
+        r.verified,
+        r.lost.len(),
+        r.sweep_mismatches
+    );
+    Ok(out)
+}
+
 fn bar(value: f64, max: f64, width: usize) -> String {
     let n = ((value / max).clamp(0.0, 1.0) * width as f64) as usize;
     "#".repeat(n)

@@ -1,0 +1,32 @@
+//! `ros-cas` — the content-addressable dedup store under OLFS.
+//!
+//! The paper's TCO argument (§2.1) prices optical media per *logical*
+//! byte; at fleet scale the cheapest byte is the one never burned twice.
+//! This crate provides the digest-addressed blob layer that makes that
+//! concrete and deterministic:
+//!
+//! - [`digest`]: an in-crate, std-only SHA-256 (FIPS 180-4 test
+//!   vectors) and the chunked [`content_digest`] scheme that fans out
+//!   over the [`ros_disk::plane::DataPlane`] while staying
+//!   byte-identical at any thread count;
+//! - [`blob`]: the refcounted [`BlobStore`] (put/get/link/unlink with
+//!   strict refcount invariants and typed [`CasError`]s), the
+//!   `(tenant, bucket, path) → Digest` index [`Cas`], and the single
+//!   [`verify_payload`] entry point every integrity check routes
+//!   through.
+//!
+//! The OLFS engine consumes this crate for write-path dedup (duplicate
+//! payloads share one blob, one bucket residency and one burn), image
+//! payload integrity (DIM digests), the cluster re-replication drill's
+//! survivor verification, and the chaos soak's acked-write sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blob;
+pub mod digest;
+
+pub use blob::{
+    verify_payload, BlobStore, Cas, CasError, IngestOutcome, ObjectKey, PutOutcome, StoreStats,
+};
+pub use digest::{content_digest, sha256, Digest, CHUNK_BYTES};

@@ -15,8 +15,8 @@
 use crate::error::ClusterError;
 use crate::placement::{self, RackId};
 use crate::router::Cluster;
+use ros_cas::{verify_payload, Digest};
 use ros_disk::DataPlane;
-use ros_drive::media::fnv1a;
 use ros_sim::SimDuration;
 use ros_udf::UdfPath;
 use serde::{Deserialize, Serialize};
@@ -40,8 +40,8 @@ pub struct DrillReport {
     /// Files with no surviving replica (0 when replication >= 2).
     pub files_lost: usize,
     /// Copied files that read back *bit-exact* through the normal read
-    /// path after the drill (FNV-1a digest match against the survivor
-    /// copy, digests computed on the data plane).
+    /// path after the drill (CAS content-digest match against the
+    /// survivor copy, digests computed on the data plane).
     pub files_verified: usize,
     /// Payload bytes copied between racks.
     pub bytes_moved: u64,
@@ -104,7 +104,7 @@ impl Cluster {
         let mut files_lost = 0;
         let mut bytes_moved = 0u64;
         let mut new_targets: Vec<(String, Vec<RackId>)> = Vec::new();
-        let mut verify_list: Vec<(String, u64)> = Vec::new();
+        let mut verify_list: Vec<(String, Digest)> = Vec::new();
         let plane = DataPlane::detect();
 
         for (key, targets, files) in affected {
@@ -155,7 +155,8 @@ impl Cluster {
             }
             // Digest the survivor copies on the data plane; the verify
             // pass below re-reads each file and compares bit-exact.
-            let digests: Vec<u64> = plane.map(&copies, |(_, _, data)| fnv1a(data));
+            // Parallelism is across files, so each digest runs serially.
+            let digests: Vec<Digest> = plane.map(&copies, |(_, _, data)| Digest::of(data));
             for ((path_str, path, data), digest) in copies.into_iter().zip(digests) {
                 let len = data.len() as u64;
                 let tidx = self.rack_index(fresh.0)?;
@@ -186,7 +187,7 @@ impl Cluster {
         for (path_str, digest) in &verify_list {
             if let Ok(path) = path_str.parse::<UdfPath>() {
                 if let Ok(report) = self.read_file(&path) {
-                    if fnv1a(&report.data) == *digest {
+                    if verify_payload(digest, &report.data, &plane).is_ok() {
                         files_verified += 1;
                     }
                 }

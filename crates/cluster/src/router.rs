@@ -70,7 +70,7 @@ impl Cluster {
     /// Builds a cluster of `cfg.racks` independent rack instances.
     pub fn new(cfg: ClusterConfig) -> Result<Self, ClusterError> {
         cfg.validate()?;
-        let racks = (0..cfg.racks as u32)
+        let racks = (0..u32::try_from(cfg.racks).unwrap_or(u32::MAX))
             .map(|id| RackNode::try_new(&cfg, RackId(id)))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Cluster {

@@ -136,7 +136,10 @@ impl FaultSink for Cluster {
                 if self.alive_racks() == 1 {
                     return InjectionOutcome::Skipped("last alive rack is spared".into());
                 }
-                if self.fail_rack(idx as u32).is_err() {
+                if self
+                    .fail_rack(u32::try_from(idx).unwrap_or(u32::MAX))
+                    .is_err()
+                {
                     return InjectionOutcome::Skipped(format!("rack {idx} cannot fail"));
                 }
                 InjectionOutcome::Injected

@@ -47,7 +47,7 @@ impl Redundancy {
         for i in 0..k {
             comb = comb * (n - i as f64) / (i as f64 + 1.0);
         }
-        comb * disc_rate.powi(k as i32)
+        comb * disc_rate.powi(i32::try_from(k).unwrap_or(i32::MAX))
     }
 }
 
@@ -115,6 +115,13 @@ pub struct RosConfig {
     /// this knob trades wall-clock only, never behaviour.
     #[serde(default)]
     pub data_plane_threads: usize,
+    /// Content-addressable dedup on the write path (DESIGN.md §14).
+    /// When enabled, payloads whose `ros-cas` content digest matches an
+    /// already-stored object share that object's bucket residency and
+    /// burn instead of being placed again. Off by default: dedup changes
+    /// placement, so existing workload traces only opt in explicitly.
+    #[serde(default)]
+    pub dedup: bool,
 }
 
 impl RosConfig {
@@ -138,6 +145,7 @@ impl RosConfig {
             seed: 0x20170423, // EuroSys'17 opening day.
             rack_id: 0,
             data_plane_threads: 0,
+            dedup: false,
         }
     }
 
@@ -164,6 +172,7 @@ impl RosConfig {
             seed: 42,
             rack_id: 0,
             data_plane_threads: 0,
+            dedup: false,
         }
     }
 

@@ -13,6 +13,8 @@
 use crate::error::OlfsError;
 use crate::ids::{ArrayId, DiscId, ImageId};
 use bytes::Bytes;
+use ros_cas::{content_digest, verify_payload, Digest};
+use ros_disk::plane::DataPlane;
 use ros_drive::media::{Disc, DiscClass, MediaKind};
 use ros_mech::{RackLayout, SlotAddress};
 use ros_udf::SealedImage;
@@ -89,8 +91,9 @@ pub struct ImageInfo {
     pub kind: ImageKind,
     /// Payload size in bytes.
     pub size: u64,
-    /// FNV-1a checksum of the payload.
-    pub checksum: u64,
+    /// 256-bit `ros-cas` content digest of the payload; every restore
+    /// from disc re-verifies against it.
+    pub digest: Digest,
     /// Parsed image while a disk copy exists (data images only).
     pub sealed: Option<SealedImage>,
     /// Raw payload while a disk copy exists.
@@ -155,6 +158,11 @@ impl ImageStore {
         self.images.get_mut(&id)
     }
 
+    /// All registered images in id order.
+    pub fn images(&self) -> impl Iterator<Item = &ImageInfo> {
+        self.images.values()
+    }
+
     /// Number of registered images.
     pub fn len(&self) -> usize {
         self.images.len()
@@ -170,7 +178,12 @@ impl ImageStore {
     ///
     /// Returns the group that became *complete* (reached `data_per_array`
     /// data images), if any — the trigger for delayed parity generation.
-    pub fn register_sealed(&mut self, sealed: SealedImage, data_per_array: u32) -> Option<ArrayId> {
+    pub fn register_sealed(
+        &mut self,
+        sealed: SealedImage,
+        data_per_array: u32,
+        plane: &DataPlane,
+    ) -> Option<ArrayId> {
         let gid = match self.collecting {
             Some(g) => g,
             None => {
@@ -186,7 +199,7 @@ impl ImageStore {
             id,
             kind: ImageKind::Data,
             size: payload.len() as u64,
-            checksum: ros_drive::media::fnv1a(&payload),
+            digest: content_digest(&payload, plane),
             sealed: Some(sealed),
             payload: Some(payload),
             burned: None,
@@ -201,7 +214,7 @@ impl ImageStore {
             slot: None,
         });
         group.data.push(id);
-        if group.data.len() as u32 >= data_per_array {
+        if group.data.len() >= data_per_array as usize {
             group.state = GroupState::ParityPending;
             self.collecting = None;
             Some(gid)
@@ -211,7 +224,12 @@ impl ImageStore {
     }
 
     /// Registers the parity payload(s) of a group and marks it ready.
-    pub fn register_parity(&mut self, gid: ArrayId, payloads: Vec<Bytes>) -> Result<(), OlfsError> {
+    pub fn register_parity(
+        &mut self,
+        gid: ArrayId,
+        payloads: Vec<Bytes>,
+        plane: &DataPlane,
+    ) -> Result<(), OlfsError> {
         let ids: Vec<ImageId> = payloads
             .iter()
             .map(|_| {
@@ -238,7 +256,7 @@ impl ImageStore {
                     id: *id,
                     kind: ImageKind::Parity,
                     size: payload.len() as u64,
-                    checksum: ros_drive::media::fnv1a(&payload),
+                    digest: content_digest(&payload, plane),
                     sealed: None,
                     payload: Some(payload),
                     burned: None,
@@ -342,13 +360,18 @@ impl ImageStore {
         Ok(freed)
     }
 
-    /// Restores a disk-tier copy after a fetch from disc.
-    pub fn restore_disk_copy(&mut self, id: ImageId, payload: Bytes) -> Result<(), OlfsError> {
+    /// Restores a disk-tier copy after a fetch from disc, verifying the
+    /// payload against the image's `ros-cas` content digest.
+    pub fn restore_disk_copy(
+        &mut self,
+        id: ImageId,
+        payload: Bytes,
+        plane: &DataPlane,
+    ) -> Result<(), OlfsError> {
         let info = self.images.get_mut(&id).ok_or(OlfsError::ImageLost(id))?;
-        let check = ros_drive::media::fnv1a(&payload);
-        if check != info.checksum {
+        if let Err(e) = verify_payload(&info.digest, &payload, plane) {
             return Err(OlfsError::BadState(format!(
-                "image {id} payload checksum mismatch after fetch"
+                "image {id} payload digest mismatch after fetch: {e}"
             )));
         }
         if info.kind == ImageKind::Data {
@@ -498,6 +521,10 @@ mod tests {
         RackLayout::tiny()
     }
 
+    fn p() -> DataPlane {
+        DataPlane::single()
+    }
+
     fn sealed(store: &mut ImageStore, tag: u8) -> SealedImage {
         let id = store.allocate_image_id();
         let mut b = Bucket::new(id.0, 64 * 2048);
@@ -512,7 +539,7 @@ mod tests {
         let mut completed = None;
         for i in 0..3 {
             let img = sealed(&mut store, i);
-            completed = store.register_sealed(img, 3);
+            completed = store.register_sealed(img, 3, &p());
         }
         let gid = completed.expect("third image completes the group");
         let g = store.group(gid).unwrap();
@@ -520,7 +547,7 @@ mod tests {
         assert_eq!(g.data.len(), 3);
         // Next image starts a fresh group.
         let img = sealed(&mut store, 9);
-        assert!(store.register_sealed(img, 3).is_none());
+        assert!(store.register_sealed(img, 3, &p()).is_none());
         assert_eq!(store.groups_in_state(GroupState::Collecting).len(), 1);
     }
 
@@ -530,11 +557,11 @@ mod tests {
         let mut gid = None;
         for i in 0..2 {
             let img = sealed(&mut store, i);
-            gid = store.register_sealed(img, 2);
+            gid = store.register_sealed(img, 2, &p());
         }
         let gid = gid.unwrap();
         store
-            .register_parity(gid, vec![Bytes::from(vec![0u8; 100])])
+            .register_parity(gid, vec![Bytes::from(vec![0u8; 100])], &p())
             .unwrap();
         let g = store.group(gid).unwrap();
         assert_eq!(g.state, GroupState::ReadyToBurn);
@@ -543,7 +570,9 @@ mod tests {
         assert_eq!(parity.kind, ImageKind::Parity);
         assert!(parity.on_disk());
         // Double registration rejected.
-        assert!(store.register_parity(gid, vec![Bytes::new()]).is_err());
+        assert!(store
+            .register_parity(gid, vec![Bytes::new()], &p())
+            .is_err());
     }
 
     #[test]
@@ -569,7 +598,7 @@ mod tests {
         let mut store = ImageStore::new(&l);
         let img = sealed(&mut store, 1);
         let id = ImageId(img.image_id());
-        store.register_sealed(img, 2);
+        store.register_sealed(img, 2, &p());
         // Cannot evict before burning.
         assert!(store.evict_disk_copy(id).is_err());
         let loc = DiscLocation {
@@ -582,9 +611,9 @@ mod tests {
         let freed = store.evict_disk_copy(id).unwrap();
         assert!(freed > 0);
         assert!(!store.get(id).unwrap().on_disk());
-        // Restore with wrong bytes fails the checksum.
+        // Restore with wrong bytes fails the digest verification.
         assert!(store
-            .restore_disk_copy(id, Bytes::from_static(b"junk"))
+            .restore_disk_copy(id, Bytes::from_static(b"junk"), &p())
             .is_err());
     }
 
@@ -595,7 +624,7 @@ mod tests {
         let img = sealed(&mut store, 2);
         let id = ImageId(img.image_id());
         let bytes = img.bytes().clone();
-        store.register_sealed(img, 2);
+        store.register_sealed(img, 2, &p());
         store
             .mark_burned(
                 id,
@@ -607,7 +636,7 @@ mod tests {
             )
             .unwrap();
         store.evict_disk_copy(id).unwrap();
-        store.restore_disk_copy(id, bytes).unwrap();
+        store.restore_disk_copy(id, bytes, &p()).unwrap();
         let info = store.get(id).unwrap();
         assert!(info.on_disk());
         assert!(info.sealed.is_some());
@@ -618,7 +647,7 @@ mod tests {
         let l = layout();
         let mut store = ImageStore::new(&l);
         let img = sealed(&mut store, 1);
-        assert!(store.register_sealed(img, 5).is_none());
+        assert!(store.register_sealed(img, 5, &p()).is_none());
         let gid = store.force_close_collecting().unwrap();
         assert_eq!(store.group(gid).unwrap().state, GroupState::ParityPending);
         assert!(store.force_close_collecting().is_none());
@@ -647,7 +676,7 @@ mod tests {
         let mut store = ImageStore::new(&l);
         let img = sealed(&mut store, 1);
         let id = ImageId(img.image_id());
-        store.register_sealed(img, 2);
+        store.register_sealed(img, 2, &p());
         store
             .mark_burned(
                 id,
@@ -677,11 +706,17 @@ mod rewrite_tests {
         let id = store.allocate_image_id();
         let mut b = Bucket::new(id.0, 64 * 2048);
         b.write(&"/f".parse().unwrap(), vec![1u8; 100], 0).unwrap();
-        let gid = store.register_sealed(b.close().unwrap(), 1).unwrap();
+        let gid = store
+            .register_sealed(b.close().unwrap(), 1, &DataPlane::single())
+            .unwrap();
         // ParityPending, not Burned: reset must refuse.
         assert!(store.reset_group_for_rewrite(gid).is_err());
         store
-            .register_parity(gid, vec![bytes::Bytes::from(vec![0u8; 100])])
+            .register_parity(
+                gid,
+                vec![bytes::Bytes::from(vec![0u8; 100])],
+                &DataPlane::single(),
+            )
             .unwrap();
         assert!(store.reset_group_for_rewrite(gid).is_err());
         // Mark burned with a slot, then reset succeeds and clears it.

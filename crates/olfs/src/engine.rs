@@ -136,6 +136,10 @@ pub struct Counters {
     /// Spoiled burns retried onto a spare tray (the ruined write-once
     /// tray is retired as Failed).
     pub reburns: u64,
+    /// Writes served by the dedup catalog without placing data (§14).
+    pub dedup_hits: u64,
+    /// Client bytes that never hit the write buffer thanks to dedup.
+    pub dedup_bytes_saved: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -189,6 +193,9 @@ pub struct Ros {
     quarantined_bays: BTreeSet<usize>,
     /// Consecutive spoiled burns per bay; two in a row quarantines.
     bay_burn_failures: BTreeMap<usize, u32>,
+    /// Content-addressable dedup bookkeeping (§14); consulted only when
+    /// `cfg.dedup` is set.
+    pub(crate) dedup: crate::dedup::DedupLayer,
 }
 
 impl Ros {
@@ -261,6 +268,7 @@ impl Ros {
             overwritten: BTreeSet::new(),
             quarantined_bays: BTreeSet::new(),
             bay_burn_failures: BTreeMap::new(),
+            dedup: crate::dedup::DedupLayer::new(),
             cfg,
         })
     }
@@ -396,6 +404,19 @@ impl Ros {
         let d = trace.step("stat", mv_read);
         self.advance(d);
 
+        // Dedup (§14): a payload whose content digest is already
+        // catalogued shares the canonical copy's placement — no second
+        // bucket residency, no second parity charge, no second burn.
+        let dedup_digest = if self.cfg.dedup {
+            let digest = ros_cas::content_digest(&data, &self.data_plane());
+            if let Some(entry) = self.dedup.lookup(&digest).cloned() {
+                return self.finish_dedup_write(path, &data, digest, entry, trace, mv_write, false);
+            }
+            Some(digest)
+        } else {
+            None
+        };
+
         // write: place the data into buckets.
         let (segments, seg_sizes, write_time) = self.place_data(path, &data)?;
         let d = trace.step("write", write_time);
@@ -415,10 +436,23 @@ impl Ros {
             data.len() as u64,
             now,
             segments.clone(),
-            seg_sizes,
+            seg_sizes.clone(),
         );
         idx.set_forepart(forepart);
 
+        if let Some(digest) = dedup_digest {
+            self.dedup.record_canonical(
+                path,
+                version,
+                digest,
+                &data,
+                crate::dedup::CatalogEntry {
+                    segments: segments.clone(),
+                    seg_sizes,
+                    stored: path.clone(),
+                },
+            );
+        }
         for seg in &segments {
             self.image_paths.entry(*seg).or_default().push(path.clone());
         }
@@ -450,11 +484,14 @@ impl Ros {
             .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
 
         // In an open bucket with enough space: simple in-place update.
+        // §14: a version whose digest is shared by other versions must
+        // never be overwritten in place — regenerate instead.
+        let shared = self.cfg.dedup && self.dedup.version_shared(path, latest.ver);
         let in_bucket = latest
             .segs
             .first()
             .and_then(|&img| self.wbm.locate_image(img))
-            .filter(|_| latest.segs.len() == 1);
+            .filter(|_| latest.segs.len() == 1 && !shared);
         if let Some(bi) = in_bucket {
             // The stored path of the latest version inside the bucket.
             let stored = self
@@ -503,6 +540,24 @@ impl Ros {
                     // version's stored path, whose old bytes are gone.
                     self.in_place_updates(path, version, &stored);
                     self.overwritten.insert((path.to_string(), latest.ver));
+                    if self.cfg.dedup {
+                        // The old bytes are gone (the guard above
+                        // guaranteed they were unshared); catalogue the
+                        // stored location under the new content digest.
+                        self.dedup.invalidate_version(path, latest.ver);
+                        let digest = ros_cas::content_digest(&data, &self.data_plane());
+                        self.dedup.record_canonical(
+                            path,
+                            version,
+                            digest,
+                            &data,
+                            crate::dedup::CatalogEntry {
+                                segments: latest.segs.clone(),
+                                seg_sizes: vec![data.len() as u64],
+                                stored: stored.clone(),
+                            },
+                        );
+                    }
                     self.counters.updates += 1;
                     return Ok(WriteReport {
                         version,
@@ -522,6 +577,18 @@ impl Ros {
             .and_then(|i| i.latest())
             .map(|e| e.ver + 1)
             .unwrap_or(1);
+        // Dedup applies to regenerated versions too: an update whose new
+        // content matches any catalogued payload links it instead of
+        // placing a fresh copy.
+        let dedup_digest = if self.cfg.dedup {
+            let digest = ros_cas::content_digest(&data, &self.data_plane());
+            if let Some(entry) = self.dedup.lookup(&digest).cloned() {
+                return self.finish_dedup_write(path, &data, digest, entry, trace, mv_write, true);
+            }
+            Some(digest)
+        } else {
+            None
+        };
         let shadow = Self::shadow_path(path, next_ver);
         let (segments, seg_sizes, write_time) = self.place_data(&shadow, &data)?;
         let d = trace.step("write", write_time);
@@ -539,9 +606,22 @@ impl Ros {
             data.len() as u64,
             now,
             segments.clone(),
-            seg_sizes,
+            seg_sizes.clone(),
         );
         idx.set_forepart(forepart);
+        if let Some(digest) = dedup_digest {
+            self.dedup.record_canonical(
+                path,
+                version,
+                digest,
+                &data,
+                crate::dedup::CatalogEntry {
+                    segments: segments.clone(),
+                    seg_sizes,
+                    stored: shadow.clone(),
+                },
+            );
+        }
         for seg in &segments {
             self.image_paths
                 .entry(*seg)
@@ -573,6 +653,82 @@ impl Ros {
     fn in_place_updates(&mut self, path: &UdfPath, version: u32, stored: &UdfPath) {
         self.in_place
             .insert((path.to_string(), version), stored.clone());
+    }
+
+    /// Completes a write whose payload dedup-hit a catalogued blob
+    /// (§14): the new version points at the canonical copy's segments
+    /// and no data is placed — only the index close is charged.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_dedup_write(
+        &mut self,
+        path: &UdfPath,
+        data: &Bytes,
+        digest: ros_cas::Digest,
+        entry: crate::dedup::CatalogEntry,
+        mut trace: OpTrace,
+        mv_write: SimDuration,
+        is_update: bool,
+    ) -> Result<WriteReport, OlfsError> {
+        let d = trace.step("close", mv_write);
+        self.advance(d);
+        let now = self.queue.now().as_nanos();
+        let forepart = self.make_forepart(data);
+        let idx = self
+            .mv
+            .get_mut(path)
+            .ok_or_else(|| OlfsError::BadState("index entry vanished before dedup link".into()))?;
+        let version = idx.push_version_sized(
+            LocTag::Bucket,
+            data.len() as u64,
+            now,
+            entry.segments.clone(),
+            entry.seg_sizes.clone(),
+        );
+        idx.set_forepart(forepart);
+        if !self
+            .dedup
+            .record_duplicate(path, version, digest, &entry.stored)
+        {
+            return Err(OlfsError::BadState(format!(
+                "dedup catalog out of sync for digest {digest}"
+            )));
+        }
+        for seg in &entry.segments {
+            self.image_paths.entry(*seg).or_default().push(path.clone());
+            // The canonical copy may already have left the write buffer;
+            // promote the fresh version's location tag to match.
+            let tag = if self.wbm.locate_image(*seg).is_some() {
+                None
+            } else if self.store.get(*seg).and_then(|i| i.burned).is_some() {
+                Some(LocTag::Disc)
+            } else {
+                Some(LocTag::Image)
+            };
+            if let Some(tag) = tag {
+                if let Some(idx) = self.mv.get_mut(path) {
+                    idx.promote_image(*seg, tag);
+                }
+            }
+        }
+        if is_update {
+            self.counters.updates += 1;
+        } else {
+            self.counters.writes += 1;
+        }
+        self.counters.dedup_hits += 1;
+        self.counters.dedup_bytes_saved += data.len() as u64;
+        Ok(WriteReport {
+            version,
+            segments: entry.segments,
+            latency: trace.total(),
+            trace,
+        })
+    }
+
+    /// Dedup accounting snapshot (§14); all-zero until `cfg.dedup`
+    /// routes writes through the catalog.
+    pub fn dedup_stats(&self) -> crate::dedup::DedupStats {
+        self.dedup.stats()
     }
 
     fn make_forepart(&self, data: &Bytes) -> Option<Bytes> {
@@ -701,9 +857,10 @@ impl Ros {
         let image = ImageId(sealed.image_id());
         let bytes = sealed.len();
         self.vm.allocate(self.vol_buffer, bytes)?;
+        let plane = self.data_plane();
         let completed = self
             .store
-            .register_sealed(sealed, self.cfg.data_discs_per_array());
+            .register_sealed(sealed, self.cfg.data_discs_per_array(), &plane);
         self.cache.insert(image);
         self.cache.pin(image);
         self.promote_paths(image, LocTag::Image);
@@ -824,11 +981,12 @@ impl Ros {
                 continue;
             };
             if let Payload::Inline(bytes) = timed.payload {
+                let plane = self.data_plane();
                 if self
                     .vm
                     .allocate(self.vol_buffer, bytes.len() as u64)
                     .is_ok()
-                    && self.store.restore_disk_copy(image, bytes).is_ok()
+                    && self.store.restore_disk_copy(image, bytes, &plane).is_ok()
                 {
                     self.cache.insert(image);
                     self.apply_cache_pressure();
@@ -878,14 +1036,18 @@ impl Ros {
                     }
                     let bytes: u64 = parity.iter().map(|p| p.len() as u64).sum();
                     let _ = self.vm.allocate(self.vol_buffer, bytes);
-                    if self.store.register_parity(gid, parity).is_err() {
+                    let plane = self.data_plane();
+                    if self.store.register_parity(gid, parity, &plane).is_err() {
                         return;
                     }
                 }
                 Err(_) => return,
             }
-        } else if self.store.register_parity(gid, Vec::new()).is_err() {
-            return;
+        } else {
+            let plane = self.data_plane();
+            if self.store.register_parity(gid, Vec::new(), &plane).is_err() {
+                return;
+            }
         }
         self.counters.parity_runs += 1;
         self.burn_queue.push_back(gid);
@@ -1501,6 +1663,10 @@ impl Ros {
     /// Candidate stored paths for a version, most likely first.
     fn resolve_stored_paths(&self, path: &UdfPath, ver: u32) -> Vec<UdfPath> {
         let mut candidates = Vec::new();
+        // A dedup-hit version reads the canonical copy's bytes (§14).
+        if let Some(alias) = self.dedup.alias(path, ver) {
+            candidates.push(alias.clone());
+        }
         if let Some(stored) = self.in_place.get(&(path.to_string(), ver)) {
             candidates.push(stored.clone());
         }
@@ -1743,7 +1909,8 @@ impl Ros {
                     }
                 };
                 self.vm.allocate(self.vol_buffer, payload.len() as u64)?;
-                self.store.restore_disk_copy(image, payload)?;
+                let plane = self.data_plane();
+                self.store.restore_disk_copy(image, payload, &plane)?;
                 Ok(())
             }
             Err(ros_drive::DriveError::Media(ros_drive::media::MediaError::SectorErrors {
@@ -1917,6 +2084,9 @@ impl Ros {
         let d = params::internal_op_overhead() + self.vm.random_read_time(self.vol_mv, 1024)?;
         self.advance(d);
         self.mv.unlink(path)?;
+        // Release the unlinked versions' dedup references (§14); dead
+        // blobs leave the catalog so their digests can be re-ingested.
+        self.dedup.on_unlink(path);
         Ok(())
     }
 
@@ -2114,10 +2284,11 @@ impl Ros {
         let bytes = Bytes::from(bytes);
         time += self.vm.write_time(self.vol_buffer, bytes.len() as u64)?;
         self.vm.allocate(self.vol_buffer, bytes.len() as u64)?;
-        // restore_disk_copy verifies the checksum: a failed verification
-        // means the damage exceeded the schema's tolerance somewhere.
+        // restore_disk_copy verifies the content digest: a failed
+        // verification means the damage exceeded the schema's tolerance.
+        let plane = self.data_plane();
         self.store
-            .restore_disk_copy(image, bytes)
+            .restore_disk_copy(image, bytes, &plane)
             .map_err(|_| unrecoverable())?;
         Ok(time)
     }

@@ -33,6 +33,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod dedup;
 pub mod dim;
 pub mod engine;
 pub mod error;

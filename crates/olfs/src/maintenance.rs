@@ -42,6 +42,16 @@ pub struct SystemStatus {
     pub cached_images: usize,
 }
 
+/// Result of a [`Ros::verify_resident_images`] digest sweep.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ImageVerifyReport {
+    /// Resident images whose payloads matched their recorded digest.
+    pub verified: usize,
+    /// Images whose resident bytes no longer match — candidates for
+    /// re-fetch or parity repair.
+    pub mismatched: Vec<ImageId>,
+}
+
 /// Result of a full-library scrub pass.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScrubReport {
@@ -309,6 +319,40 @@ impl Ros {
     /// pass) or run manually.
     pub fn last_scrub_report(&self) -> Option<&ScrubReport> {
         self.last_scrub.as_ref()
+    }
+
+    /// Verifies every image payload resident on the disk tier against
+    /// its recorded `ros-cas` content digest — the MI's verify-by-digest
+    /// sweep (DESIGN.md §14). Complements [`Ros::scrub`]: the scrub
+    /// finds *media* damage on burned discs, this pass proves the
+    /// *buffered* bytes still match what was sealed. Burned-and-evicted
+    /// images are skipped; their bytes are re-verified by
+    /// `restore_disk_copy` on the next fetch.
+    ///
+    /// Verification fans out across images on the data plane (each
+    /// image is hashed serially to avoid nested planes); the result is
+    /// independent of the thread count.
+    pub fn verify_resident_images(&self) -> ImageVerifyReport {
+        let plane = self.data_plane();
+        let resident: Vec<&crate::dim::ImageInfo> = self
+            .store
+            .images()
+            .filter(|i| i.payload.is_some())
+            .collect();
+        let serial = ros_disk::DataPlane::single();
+        let ok: Vec<bool> = plane.map(&resident, |info| match &info.payload {
+            Some(p) => ros_cas::verify_payload(&info.digest, p, &serial).is_ok(),
+            None => true,
+        });
+        let mut report = ImageVerifyReport::default();
+        for (info, ok) in resident.iter().zip(ok) {
+            if ok {
+                report.verified += 1;
+            } else {
+                report.mismatched.push(info.id);
+            }
+        }
+        report
     }
 
     /// Repairs every image a scrub found damaged, by fetching its array

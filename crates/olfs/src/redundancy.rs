@@ -13,6 +13,7 @@
 
 use crate::config::Redundancy;
 use bytes::Bytes;
+use ros_cas::{verify_payload, Digest};
 use ros_disk::parity::{self, ParityError};
 use ros_disk::plane::DataPlane;
 
@@ -41,6 +42,12 @@ pub enum RedundancyError {
     },
     /// No members supplied.
     Empty,
+    /// A reconstructed member's content digest disagrees with the
+    /// expected one — the surviving inputs were themselves corrupt.
+    DigestMismatch {
+        /// Index of the failing member.
+        member: usize,
+    },
 }
 
 impl From<ParityError> for RedundancyError {
@@ -57,6 +64,12 @@ impl core::fmt::Display for RedundancyError {
                 write!(f, "{lost} members lost, {tolerated} tolerated")
             }
             RedundancyError::Empty => write!(f, "no members"),
+            RedundancyError::DigestMismatch { member } => {
+                write!(
+                    f,
+                    "reconstructed member {member} failed digest verification"
+                )
+            }
         }
     }
 }
@@ -184,6 +197,38 @@ pub fn reconstruct_with(
             Bytes::from(v)
         })
         .collect())
+}
+
+/// Content digests of a parity group's members, hashed on the plane.
+///
+/// Captured at parity-generation time, these pin the exact bytes the
+/// parity covers; [`reconstruct_verified`] checks recovered members
+/// against them so silent corruption of a *survivor* cannot masquerade
+/// as a successful reconstruction.
+pub fn member_digests(data_images: &[&[u8]], plane: &DataPlane) -> Vec<Digest> {
+    plane.map(data_images, |d| {
+        ros_cas::content_digest(d, &DataPlane::single())
+    })
+}
+
+/// [`reconstruct_with`], then verifies every member against the digests
+/// captured by [`member_digests`] at generation time.
+pub fn reconstruct_verified(
+    schema: Redundancy,
+    data: &[Option<&[u8]>],
+    sizes: &[usize],
+    p: Option<&[u8]>,
+    q: Option<&[u8]>,
+    expected: &[Digest],
+    plane: &DataPlane,
+) -> Result<Vec<Bytes>, RedundancyError> {
+    let recovered = reconstruct_with(schema, data, sizes, p, q, plane)?;
+    for (i, (member, digest)) in recovered.iter().zip(expected.iter()).enumerate() {
+        if verify_payload(digest, member, plane).is_err() {
+            return Err(RedundancyError::DigestMismatch { member: i });
+        }
+    }
+    Ok(recovered)
 }
 
 #[cfg(test)]
@@ -334,6 +379,62 @@ mod tests {
             generate(Redundancy::Raid5, &[]).unwrap_err(),
             RedundancyError::Empty
         ));
+    }
+
+    #[test]
+    fn verified_reconstruction_catches_corrupt_survivors() {
+        let imgs = images();
+        let sizes: Vec<usize> = imgs.iter().map(Vec::len).collect();
+        let plane = DataPlane::single();
+        let set = generate(Redundancy::Raid5, &refs(&imgs)).unwrap();
+        let digests = member_digests(&refs(&imgs), &plane);
+        assert_eq!(digests.len(), imgs.len());
+
+        // Clean single-loss reconstruction passes verification.
+        let mut masked: Vec<Option<&[u8]>> = imgs.iter().map(|d| Some(d.as_slice())).collect();
+        masked[4] = None;
+        let rec = reconstruct_verified(
+            Redundancy::Raid5,
+            &masked,
+            &sizes,
+            set.p.as_deref(),
+            None,
+            &digests,
+            &plane,
+        )
+        .unwrap();
+        assert_eq!(rec[4].as_ref(), imgs[4].as_slice());
+
+        // Flip one byte in a *survivor*: parity math still "succeeds",
+        // but the digest check names the poisoned reconstruction.
+        let mut corrupt = imgs.clone();
+        corrupt[0][10] ^= 0xff;
+        let masked: Vec<Option<&[u8]>> = corrupt
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (i != 4).then_some(d.as_slice()))
+            .collect();
+        let err = reconstruct_verified(
+            Redundancy::Raid5,
+            &masked,
+            &sizes,
+            set.p.as_deref(),
+            None,
+            &digests,
+            &plane,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RedundancyError::DigestMismatch { .. }));
+    }
+
+    #[test]
+    fn member_digests_are_thread_count_invariant() {
+        let imgs = images();
+        let expect = member_digests(&refs(&imgs), &DataPlane::single());
+        for threads in [2, 4] {
+            let got = member_digests(&refs(&imgs), &DataPlane::new(threads));
+            assert_eq!(got, expect, "threads={threads}");
+        }
     }
 
     #[test]

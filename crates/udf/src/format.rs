@@ -194,7 +194,11 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
                 let mut off = put_u64(b, 1, meta.size);
                 off = put_u64(b, off, meta.mtime_nanos);
                 off = put_u64(b, off, data_start);
-                put_u32(b, off, blocks_for(meta.size) as u32);
+                put_u32(
+                    b,
+                    off,
+                    u32::try_from(blocks_for(meta.size)).unwrap_or(u32::MAX),
+                );
                 w.write_bytes(data_start, 0, data);
             }
             FsNode::Dir { children } => {
@@ -204,9 +208,9 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
                 {
                     let b = w.at(my_icb);
                     b[0] = b'D';
-                    let mut off = put_u32(b, 1, children.len() as u32);
+                    let mut off = put_u32(b, 1, u32::try_from(children.len()).unwrap_or(u32::MAX));
                     off = put_u64(b, off, data_start);
-                    put_u32(b, off, data_blocks as u32);
+                    put_u32(b, off, u32::try_from(data_blocks).unwrap_or(u32::MAX));
                 }
                 // FID stream.
                 let mut stream = Vec::with_capacity(fid_bytes as usize);
@@ -216,7 +220,8 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
                         FsNode::File { .. } => b'f',
                     };
                     stream.push(kind);
-                    stream.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                    let name_len = u32::try_from(name.len()).unwrap_or(u32::MAX);
+                    stream.extend_from_slice(&name_len.to_le_bytes());
                     stream.extend_from_slice(name.as_bytes());
                     let child_icb = icbs[&(child as *const FsNode)];
                     stream.extend_from_slice(&child_icb.to_le_bytes());

@@ -273,7 +273,11 @@ fn dataset_path(i: usize) -> UdfPath {
 pub fn synth_data(path: &UdfPath, size: u64) -> Vec<u8> {
     let tag = ros_drive_free_hash(path.to_string().as_bytes());
     (0..size)
-        .map(|i| (tag.wrapping_add(i).wrapping_mul(0x9E3779B97F4A7C15) >> 56) as u8)
+        .map(|i| {
+            tag.wrapping_add(i)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .to_be_bytes()[0]
+        })
         .collect()
 }
 
