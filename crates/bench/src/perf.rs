@@ -32,7 +32,8 @@ use crate::experiments::BenchError;
 use ros_disk::parity::{self, gf_mul_scalar, gf_pow2};
 use ros_disk::DataPlane;
 use ros_olfs::cache::ReadCache;
-use ros_olfs::ImageId;
+use ros_olfs::mv::MetadataVolume;
+use ros_olfs::{ImageId, Ros, RosConfig};
 use ros_sim::stats::{LatencyRecorder, ThroughputSeries};
 use ros_sim::{Bandwidth, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -528,6 +529,130 @@ fn cas_metrics(reps: usize) -> Vec<PerfMetric> {
     ]
 }
 
+/// Builds an MV with `n` files spread over a two-level directory fan,
+/// plus the lookup key set, for the namespace resolution benchmarks.
+fn namespace_fixture(n: usize) -> Option<(MetadataVolume, Vec<ros_olfs::UdfPath>)> {
+    let mut mv = MetadataVolume::new();
+    let mut keys = Vec::with_capacity(n);
+    for i in 0..n {
+        let path: ros_olfs::UdfPath = format!("/dir{}/sub{}/file{i}.dat", i % 61, i % 17)
+            .parse()
+            .ok()?;
+        mv.create(&path).ok()?;
+        keys.push(path);
+    }
+    Some((mv, keys))
+}
+
+/// Flat-namespace resolution: per-lookup cost of `MetadataVolume::get`
+/// over `n` entries (hash-indexed, so this should not grow with `n`).
+///
+/// Queries cycle through a fixed 256-key subset regardless of `n`, so
+/// the measured cost is the resolution algorithm, not the cache-miss
+/// cost of streaming `n` scattered key objects through the benchmark
+/// loop itself.
+fn namespace_lookup_ns(n: usize, reps: usize) -> f64 {
+    let Some((mv, keys)) = namespace_fixture(n) else {
+        return f64::INFINITY;
+    };
+    let stride = (n / 256).max(1);
+    let hot: Vec<&ros_olfs::UdfPath> = keys.iter().step_by(stride).take(256).collect();
+    let queries = 30_000usize;
+    let mut state = n as u64;
+    median_ns_per(reps, || {
+        for _ in 0..queries {
+            let k = hot[(next_id(&mut state) % hot.len() as u64) as usize];
+            black_box(mv.get(k));
+        }
+        queries
+    })
+}
+
+/// Bytes memcpy'd per read on an engine serving unsplit files — the
+/// zero-copy contract says exactly 0 (reads are refcounted slices).
+fn read_copy_bytes_per_read() -> f64 {
+    let mut ros = Ros::new(RosConfig::tiny());
+    let files = 24usize;
+    for i in 0..files {
+        let path: Result<ros_olfs::UdfPath, _> = format!("/perf/f{i}.bin").parse();
+        let Ok(path) = path else {
+            return f64::INFINITY;
+        };
+        let fill = u8::try_from(i & 0xff).unwrap_or(0);
+        if ros.write_file(&path, vec![fill; 16 * 1024]).is_err() {
+            return f64::INFINITY;
+        }
+    }
+    for round in 0..3 {
+        for i in 0..files {
+            let Ok(path) = format!("/perf/f{i}.bin").parse() else {
+                return f64::INFINITY;
+            };
+            if round % 2 == 0 {
+                if ros.read_file(&path).is_err() {
+                    return f64::INFINITY;
+                }
+            } else if ros.read_range(&path, 1024, 4096).is_err() {
+                return f64::INFINITY;
+            }
+        }
+    }
+    let c = ros.counters();
+    c.read_copy_bytes as f64 / c.reads.max(1) as f64
+}
+
+/// Measures the flat-namespace layer: O(1) path resolution at sizes a
+/// decade apart (the 10x scaling ratio is the gated metric) and the
+/// read path's zero-copy guarantee.
+fn namespace_metrics(reps: usize) -> Vec<PerfMetric> {
+    let lookup_1k = namespace_lookup_ns(1_000, reps);
+    let lookup_10k = namespace_lookup_ns(10_000, reps);
+    let lookup_100k = namespace_lookup_ns(100_000, reps);
+    let scale = if lookup_1k > 0.0 {
+        lookup_10k / lookup_1k
+    } else {
+        f64::INFINITY
+    };
+    let copy_per_read = read_copy_bytes_per_read();
+    vec![
+        metric(
+            "namespace_lookup_ns_1k",
+            lookup_1k,
+            "ns/op",
+            false,
+            "MV flat-index path resolution, 1k entries",
+        ),
+        metric(
+            "namespace_lookup_ns_10k",
+            lookup_10k,
+            "ns/op",
+            false,
+            "MV flat-index path resolution, 10k entries",
+        ),
+        metric(
+            "namespace_lookup_ns_100k",
+            lookup_100k,
+            "ns/op",
+            false,
+            "MV flat-index path resolution, 100k entries",
+        ),
+        metric(
+            "lookup_cost_scale_10x",
+            scale,
+            "ratio",
+            true,
+            "per-lookup cost growth for 10x more entries (hash index => ~1)",
+        ),
+        metric(
+            "read_copy_bytes_per_read",
+            copy_per_read,
+            "bytes",
+            true,
+            "bytes memcpy'd per unsplit-file read (zero-copy contract => 0)",
+        ),
+    ]
+}
+
 fn metric(name: &str, value: f64, unit: &str, tracked: bool, desc: &str) -> PerfMetric {
     PerfMetric {
         name: name.to_string(),
@@ -638,6 +763,7 @@ pub fn measure(reps: usize) -> PerfReport {
             "per-lookup cost growth for 10x more points (O(log n) => ~1)",
         ),
     ];
+    metrics.extend(namespace_metrics(reps));
     metrics.extend(parity_metrics(reps));
     metrics.extend(cas_metrics(reps));
     PerfReport {

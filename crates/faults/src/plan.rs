@@ -283,6 +283,13 @@ pub struct FaultPlan {
     cursor: usize,
 }
 
+/// Draws `rng.index` below a `u32` bound and returns it as `u32`: the
+/// result is strictly below the bound, so the narrowing is lossless and
+/// the saturation fallback is unreachable.
+fn index_u32(rng: &mut SimRng, bound: u32) -> u32 {
+    u32::try_from(rng.index(bound.max(1) as usize)).unwrap_or(u32::MAX)
+}
+
 impl FaultPlan {
     /// Generates the plan for `spec` from `seed`.
     ///
@@ -297,7 +304,7 @@ impl FaultPlan {
         let wrap = |rng: &mut SimRng, kind: FaultKind| -> FaultKind {
             if clustered {
                 FaultKind::AtRack {
-                    rack: rng.index(spec.racks.max(1) as usize) as u32,
+                    rack: index_u32(rng, spec.racks),
                     fault: Box::new(kind),
                 }
             } else {
@@ -309,9 +316,9 @@ impl FaultPlan {
         for _ in 0..spec.drive_transient_reads {
             let at = rng.range_u64(0, horizon);
             let kind = FaultKind::DriveTransientReads {
-                bay: rng.index(spec.bays.max(1) as usize) as u32,
-                drive: rng.index(spec.drives_per_bay.max(1) as usize) as u32,
-                count: 1 + rng.index(3) as u32,
+                bay: index_u32(&mut rng, spec.bays),
+                drive: index_u32(&mut rng, spec.drives_per_bay),
+                count: 1 + index_u32(&mut rng, 3),
             };
             staged.push((at, wrap(&mut rng, kind)));
         }
@@ -320,9 +327,9 @@ impl FaultPlan {
         for _ in 0..spec.drive_burn_faults {
             let at = rng.range_u64(0, horizon);
             let kind = FaultKind::DriveBurnFaults {
-                bay: rng.index(spec.bays.max(1) as usize) as u32,
-                drive: rng.index(spec.drives_per_bay.max(1) as usize) as u32,
-                count: 1 + rng.index(2) as u32,
+                bay: index_u32(&mut rng, spec.bays),
+                drive: index_u32(&mut rng, spec.drives_per_bay),
+                count: 1 + index_u32(&mut rng, 2),
             };
             staged.push((at, wrap(&mut rng, kind)));
         }
@@ -331,8 +338,8 @@ impl FaultPlan {
         for _ in 0..spec.drive_deaths {
             let at = rng.range_u64(0, horizon);
             let kind = FaultKind::DriveDeath {
-                bay: rng.index(spec.bays.max(1) as usize) as u32,
-                drive: rng.index(spec.drives_per_bay.max(1) as usize) as u32,
+                bay: index_u32(&mut rng, spec.bays),
+                drive: index_u32(&mut rng, spec.drives_per_bay),
             };
             staged.push((at, wrap(&mut rng, kind)));
         }
@@ -343,7 +350,7 @@ impl FaultPlan {
             let at = horizon / 2 + rng.range_u64(0, horizon.div_ceil(2));
             let kind = FaultKind::MediaCorruption {
                 disc: rng.next_u64(),
-                sectors: 1 + rng.index(4) as u32,
+                sectors: 1 + index_u32(&mut rng, 4),
             };
             staged.push((at.min(horizon - 1), wrap(&mut rng, kind)));
         }
@@ -352,7 +359,7 @@ impl FaultPlan {
         for _ in 0..spec.mech_transients {
             let at = rng.range_u64(0, horizon);
             let kind = FaultKind::MechTransient {
-                count: 1 + rng.index(2) as u32,
+                count: 1 + index_u32(&mut rng, 2),
             };
             staged.push((at, wrap(&mut rng, kind)));
         }
@@ -365,9 +372,9 @@ impl FaultPlan {
                 3 => VolumeTarget::Aux,
                 _ => VolumeTarget::Buffer,
             };
-            let member = rng.index(spec.volume_members.max(1) as usize) as u32;
+            let member = index_u32(&mut rng, spec.volume_members);
             let rack = if clustered {
-                rng.index(spec.racks as usize) as u32
+                index_u32(&mut rng, spec.racks)
             } else {
                 0
             };
@@ -400,7 +407,7 @@ impl FaultPlan {
                 staged.push((
                     at.min(horizon - 1),
                     FaultKind::RackOutage {
-                        rack: rng.index(spec.racks as usize) as u32,
+                        rack: index_u32(&mut rng, spec.racks),
                     },
                 ));
             }
@@ -411,8 +418,8 @@ impl FaultPlan {
                 staged.push((
                     at,
                     FaultKind::RackSlow {
-                        rack: rng.index(spec.racks as usize) as u32,
-                        factor_pct: 150 + rng.range_u64(0, 250) as u32,
+                        rack: index_u32(&mut rng, spec.racks),
+                        factor_pct: 150 + u32::try_from(rng.range_u64(0, 250)).unwrap_or(u32::MAX),
                     },
                 ));
             }

@@ -20,6 +20,7 @@ use ros_mech::{RackLayout, SlotAddress};
 use ros_udf::SealedImage;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Disc-array state in the DAindex (§4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,8 +95,9 @@ pub struct ImageInfo {
     /// 256-bit `ros-cas` content digest of the payload; every restore
     /// from disc re-verifies against it.
     pub digest: Digest,
-    /// Parsed image while a disk copy exists (data images only).
-    pub sealed: Option<SealedImage>,
+    /// Parsed image while a disk copy exists (data images only),
+    /// refcounted so readers share one parse instead of deep-cloning.
+    pub sealed: Option<Arc<SealedImage>>,
     /// Raw payload while a disk copy exists.
     pub payload: Option<Bytes>,
     /// Physical location once burned.
@@ -200,7 +202,7 @@ impl ImageStore {
             kind: ImageKind::Data,
             size: payload.len() as u64,
             digest: content_digest(&payload, plane),
-            sealed: Some(sealed),
+            sealed: Some(Arc::new(sealed)),
             payload: Some(payload),
             burned: None,
             array: Some(gid),
@@ -375,10 +377,10 @@ impl ImageStore {
             )));
         }
         if info.kind == ImageKind::Data {
-            info.sealed = Some(
+            info.sealed = Some(Arc::new(
                 SealedImage::from_bytes(payload.clone())
                     .map_err(|e| OlfsError::Udf(e.to_string()))?,
-            );
+            ));
         }
         info.payload = Some(payload);
         Ok(())

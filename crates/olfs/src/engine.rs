@@ -140,6 +140,9 @@ pub struct Counters {
     pub dedup_hits: u64,
     /// Client bytes that never hit the write buffer thanks to dedup.
     pub dedup_bytes_saved: u64,
+    /// Bytes memcpy'd on the read path. Single-segment reads hand back
+    /// refcounted slices (zero-copy), so only multi-segment joins count.
+    pub read_copy_bytes: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -497,12 +500,7 @@ impl Ros {
             let stored = self
                 .resolve_stored_paths(path, latest.ver)
                 .into_iter()
-                .find(|p| {
-                    self.wbm
-                        .bucket(bi)
-                        .map(|b| b.tree().is_file(p))
-                        .unwrap_or(false)
-                });
+                .find(|p| self.wbm.bucket(bi).map(|b| b.contains(p)).unwrap_or(false));
             if let Some(stored) = stored {
                 let fits = {
                     let Some(b) = self.wbm.bucket(bi) else {
@@ -1524,18 +1522,19 @@ impl Ros {
         let forepart_available = ver.is_none() && idx.forepart().is_some();
         let stored_paths = self.resolve_stored_paths(path, entry.ver);
 
-        let mut data = Vec::with_capacity(entry.size as usize);
+        let mut pieces: Vec<Bytes> = Vec::with_capacity(entry.segs.len());
         let mut io = SimDuration::ZERO;
         let mut source = ReadSource::DiskBucket;
         let mut fetch_extra = SimDuration::ZERO;
         for seg in &entry.segs {
             let (bytes, seg_io, seg_source, seg_fetch) =
                 self.read_segment(*seg, &stored_paths, entry.size)?;
-            data.extend_from_slice(&bytes);
+            pieces.push(bytes);
             io += seg_io;
             fetch_extra += seg_fetch;
             source = worst_source(source, seg_source);
         }
+        let data = Self::join_segments(&mut self.counters, pieces);
         if fetch_extra > SimDuration::ZERO {
             trace.extra("fetch", fetch_extra);
         }
@@ -1552,13 +1551,31 @@ impl Ros {
         };
         self.counters.reads += 1;
         Ok(ReadReport {
-            data: Bytes::from(data),
+            data,
             version: entry.ver,
             latency: total,
             first_byte_latency: first_byte,
             source,
             trace,
         })
+    }
+
+    /// Joins segment slices into a reply payload. A single slice — the
+    /// common unsplit-file case — is handed back zero-copy (a refcount
+    /// bump over the owning buffer); joining `n > 1` slices is the only
+    /// memcpy on the read path, and its volume is counted in
+    /// [`Counters::read_copy_bytes`].
+    fn join_segments(counters: &mut Counters, mut pieces: Vec<Bytes>) -> Bytes {
+        if pieces.len() == 1 {
+            return pieces.remove(0);
+        }
+        let total: usize = pieces.iter().map(Bytes::len).sum();
+        let mut buf = Vec::with_capacity(total);
+        for b in &pieces {
+            buf.extend_from_slice(b);
+        }
+        counters.read_copy_bytes += buf.len() as u64;
+        Bytes::from(buf)
     }
 
     /// Reads a byte range of a file's newest version (the `pread`
@@ -1594,7 +1611,7 @@ impl Ros {
         let start = offset.min(entry.size);
         let sized = entry.seg_sizes.len() == entry.segs.len() && !entry.segs.is_empty();
 
-        let mut data = Vec::with_capacity((end - start) as usize);
+        let mut pieces: Vec<Bytes> = Vec::new();
         let mut io = SimDuration::ZERO;
         let mut source = ReadSource::DiskBucket;
         let mut fetch_extra = SimDuration::ZERO;
@@ -1617,9 +1634,10 @@ impl Ros {
                 if sized {
                     let lo = start.saturating_sub(cursor).min(bytes.len() as u64);
                     let hi = end.saturating_sub(cursor).min(bytes.len() as u64);
-                    data.extend_from_slice(&bytes[lo as usize..hi as usize]);
+                    // Sub-slicing a refcounted buffer, not copying.
+                    pieces.push(bytes.slice(lo as usize..hi as usize));
                 } else {
-                    data.extend_from_slice(&bytes);
+                    pieces.push(bytes);
                 }
             }
             if sized {
@@ -1629,12 +1647,15 @@ impl Ros {
                 }
             }
         }
-        if !sized {
-            // Slice the concatenation.
-            let lo = start.min(data.len() as u64) as usize;
-            let hi = end.min(data.len() as u64) as usize;
-            data = data[lo..hi].to_vec();
-        }
+        let data = if sized {
+            Self::join_segments(&mut self.counters, pieces)
+        } else {
+            // Slice the concatenation (zero-copy when one segment).
+            let joined = Self::join_segments(&mut self.counters, pieces);
+            let lo = start.min(joined.len() as u64) as usize;
+            let hi = end.min(joined.len() as u64) as usize;
+            joined.slice(lo..hi)
+        };
         if fetch_extra > SimDuration::ZERO {
             trace.extra("fetch", fetch_extra);
         }
@@ -1651,7 +1672,7 @@ impl Ros {
         };
         self.counters.reads += 1;
         Ok(ReadReport {
-            data: Bytes::from(data),
+            data,
             version: entry.ver,
             latency: total,
             first_byte_latency: first_byte,
@@ -1689,7 +1710,7 @@ impl Ros {
         if let Some(bi) = self.wbm.locate_image(image) {
             let b = self.wbm.bucket(bi).ok_or(OlfsError::ImageLost(image))?;
             for p in stored_paths {
-                if let Ok(bytes) = b.tree().read(p) {
+                if let Ok(bytes) = b.read(p) {
                     let io = params::bucket_read_device()
                         + self.vm.read_time(self.vol_buffer, bytes.len() as u64)?;
                     return Ok((bytes, io, ReadSource::DiskBucket, SimDuration::ZERO));
@@ -2552,6 +2573,42 @@ mod tests {
         let rd = r.read_file(&p("/big.bin")).unwrap();
         assert_eq!(rd.data.len(), data.len());
         assert_eq!(rd.data.as_ref(), data.as_slice());
+    }
+
+    #[test]
+    fn single_segment_reads_are_zero_copy() {
+        let mut r = ros();
+        let data = vec![0x5A; 50_000];
+        r.write_file(&p("/zc/file"), data.clone()).unwrap();
+        let rd = r.read_file(&p("/zc/file")).unwrap();
+        assert_eq!(rd.data.as_ref(), data.as_slice());
+        assert_eq!(
+            r.counters().read_copy_bytes,
+            0,
+            "unsplit files must be served as refcounted slices"
+        );
+        let rr = r.read_range(&p("/zc/file"), 1_000, 2_000).unwrap();
+        assert_eq!(rr.data.as_ref(), &data[1_000..3_000]);
+        assert_eq!(
+            r.counters().read_copy_bytes,
+            0,
+            "range reads of unsplit files are sub-slices, not copies"
+        );
+    }
+
+    #[test]
+    fn multi_segment_reads_count_their_join_copy() {
+        let mut r = ros();
+        let data: Vec<u8> = (0..6 * 1024 * 1024u32).map(|i| (i % 241) as u8).collect();
+        let w = r.write_file(&p("/big.bin"), data.clone()).unwrap();
+        assert!(w.segments.len() >= 2);
+        let rd = r.read_file(&p("/big.bin")).unwrap();
+        assert_eq!(rd.data.as_ref(), data.as_slice());
+        assert_eq!(
+            r.counters().read_copy_bytes,
+            data.len() as u64,
+            "a split file is joined with exactly one memcpy of its size"
+        );
     }
 
     #[test]

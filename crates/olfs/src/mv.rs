@@ -5,149 +5,276 @@
 //! formatted as ext4... Besides index files, all system running states and
 //! maintenance information are also stored in MV in the Json format."
 //!
-//! `MetadataVolume` is the pure data structure: a sorted map from global
-//! paths to [`IndexFile`]s plus a directory set and a JSON state store.
+//! `MetadataVolume` is the pure data structure: a flat `Hash(path) → entry`
+//! namespace (the §4.4 unique-file-path identity, so every lookup is O(1)
+//! regardless of depth) plus a JSON state store. Directory listings come
+//! from a *sorted child sidecar* kept per directory, so `readdir` order is
+//! name order by construction — never hash-table order (lint L6). The
+//! snapshot format is unchanged: serde goes through a shadow struct that
+//! re-emits the historical sorted-map JSON byte-for-byte.
 //! All *timing* (SSD RAID-1 random I/O, direct-I/O sync costs) is charged
 //! by the engine, keeping this module unit-testable.
 
 use crate::error::OlfsError;
 use crate::index::IndexFile;
-use ros_udf::UdfPath;
+use ros_udf::{PathIndex, UdfPath};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// A directory's sorted child sidecar: `(name, is_dir)` in name order,
+/// maintained by the same operations that mutate the namespace, so
+/// `list` is a clone — deterministic without a sort at read time.
+#[derive(Clone, Debug, Default)]
+struct DirNode {
+    children: Vec<(String, bool)>,
+}
+
+impl DirNode {
+    fn link(&mut self, name: &str, is_dir: bool) {
+        match self
+            .children
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            Ok(i) => self.children[i].1 = is_dir,
+            Err(i) => self.children.insert(i, (name.to_string(), is_dir)),
+        }
+    }
+
+    fn unlink(&mut self, name: &str) {
+        if let Ok(i) = self
+            .children
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+        {
+            self.children.remove(i);
+        }
+    }
+}
+
 /// The metadata volume contents.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MetadataVolume {
-    /// Index files keyed by global path string.
-    files: BTreeMap<String, IndexFile>,
-    /// All directories ever created (the namespace skeleton).
-    dirs: BTreeSet<String>,
+    /// Index files in a flat path-hash index.
+    files: PathIndex<IndexFile>,
+    /// All directories ever created (the namespace skeleton), each with
+    /// its sorted child sidecar.
+    dirs: PathIndex<DirNode>,
     /// System running state, JSON-valued (§4.2's checkpoint store).
     state: BTreeMap<String, serde_json::Value>,
+}
+
+impl Default for MetadataVolume {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serde shadow of [`MetadataVolume`]: the historical sorted-map layout,
+/// so MV snapshots are byte-identical to the pre-index format and old
+/// snapshots restore cleanly.
+#[derive(Serialize, Deserialize)]
+struct MvSnapshot {
+    files: BTreeMap<String, IndexFile>,
+    dirs: BTreeSet<String>,
+    state: BTreeMap<String, serde_json::Value>,
+}
+
+impl Serialize for MetadataVolume {
+    fn serialize_value(&self) -> serde::Value {
+        let files: BTreeMap<String, IndexFile> = self
+            .files
+            .iter()
+            .map(|(p, i)| (p.to_string(), i.clone()))
+            .collect();
+        let dirs: BTreeSet<String> = self.dirs.iter().map(|(p, _)| p.to_string()).collect();
+        MvSnapshot {
+            files,
+            dirs,
+            state: self.state.clone(),
+        }
+        .serialize_value()
+    }
+}
+
+impl Deserialize for MetadataVolume {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let snap = MvSnapshot::deserialize_value(v)?;
+        let mut mv = MetadataVolume::new();
+        mv.state = snap.state;
+        // BTreeSet order is parent-before-child ("/a" < "/a/b"), but
+        // mkdir_p builds missing ancestors anyway; root already exists.
+        for d in &snap.dirs {
+            if d == "/" {
+                continue;
+            }
+            let path: UdfPath = d
+                .parse()
+                .map_err(|_| serde::DeError::custom(format!("bad dir path {d}")))?;
+            mv.mkdir_p(&path)
+                .map_err(|e| serde::DeError::custom(format!("snapshot dir {d}: {e}")))?;
+        }
+        for (k, idx) in snap.files {
+            let path: UdfPath = k
+                .parse()
+                .map_err(|_| serde::DeError::custom(format!("bad file path {k}")))?;
+            *mv.create(&path)
+                .map_err(|e| serde::DeError::custom(format!("snapshot file {k}: {e}")))? = idx;
+        }
+        Ok(mv)
+    }
 }
 
 impl MetadataVolume {
     /// Creates an empty MV with just the root directory.
     pub fn new() -> Self {
-        let mut dirs = BTreeSet::new();
-        dirs.insert("/".to_string());
+        let mut dirs = PathIndex::new();
+        dirs.insert(UdfPath::root(), DirNode::default());
         MetadataVolume {
-            files: BTreeMap::new(),
+            files: PathIndex::new(),
             dirs,
             state: BTreeMap::new(),
         }
     }
 
-    /// Looks up a file's index.
+    /// Looks up a file's index — one flat-index probe.
     pub fn get(&self, path: &UdfPath) -> Option<&IndexFile> {
-        self.files.get(&path.to_string())
+        self.files.get(path)
     }
 
     /// Mutable lookup.
     pub fn get_mut(&mut self, path: &UdfPath) -> Option<&mut IndexFile> {
-        self.files.get_mut(&path.to_string())
+        self.files.get_mut(path)
     }
 
     /// Returns true if a file exists at the path.
     pub fn is_file(&self, path: &UdfPath) -> bool {
-        self.files.contains_key(&path.to_string())
+        self.files.contains(path)
     }
 
     /// Returns true if a directory exists at the path.
     pub fn is_dir(&self, path: &UdfPath) -> bool {
-        self.dirs.contains(&path.to_string())
+        self.dirs.contains(path)
+    }
+
+    /// Links `path` into its parent's child sidecar (root has no parent).
+    fn link_child(&mut self, path: &UdfPath, is_dir: bool) {
+        let (Some(parent), Some(name)) = (path.parent(), path.name()) else {
+            return;
+        };
+        let name = name.to_string();
+        if let Some(node) = self.dirs.get_mut(&parent) {
+            node.link(&name, is_dir);
+        }
+    }
+
+    /// Ensures `dir` and every missing ancestor exist as directories,
+    /// linking each new one into its parent. Errors *before* mutating if
+    /// any ancestor on the missing stretch is a file. Stops climbing at
+    /// the first existing directory: a directory can only have been
+    /// created with directory ancestors, so the rest of the chain is
+    /// already in place.
+    fn ensure_dir_chain(&mut self, dir: Option<UdfPath>) -> Result<(), OlfsError> {
+        let mut missing: Vec<UdfPath> = Vec::new();
+        let mut cur = dir;
+        while let Some(d) = cur {
+            if self.files.contains(&d) {
+                return Err(OlfsError::Invalid(format!("{d} is a file")));
+            }
+            if self.dirs.contains(&d) {
+                break;
+            }
+            cur = d.parent();
+            missing.push(d);
+        }
+        for d in missing.into_iter().rev() {
+            self.link_child(&d, true);
+            self.dirs.insert(d, DirNode::default());
+        }
+        Ok(())
     }
 
     /// Creates an index file (and its ancestor directories).
     pub fn create(&mut self, path: &UdfPath) -> Result<&mut IndexFile, OlfsError> {
-        let key = path.to_string();
-        if self.files.contains_key(&key) {
-            return Err(OlfsError::AlreadyExists(key));
+        if self.files.contains(path) {
+            return Err(OlfsError::AlreadyExists(path.to_string()));
         }
-        if self.dirs.contains(&key) {
-            return Err(OlfsError::Invalid(format!("{key} is a directory")));
+        if self.dirs.contains(path) {
+            return Err(OlfsError::Invalid(format!("{path} is a directory")));
         }
-        let mut dir = path.parent();
-        while let Some(d) = dir {
-            if self.files.contains_key(&d.to_string()) {
-                return Err(OlfsError::Invalid(format!("{d} is a file")));
-            }
-            self.dirs.insert(d.to_string());
-            dir = d.parent();
-        }
-        Ok(self.files.entry(key).or_default())
+        self.ensure_dir_chain(path.parent())?;
+        self.link_child(path, false);
+        self.files.insert(path.clone(), IndexFile::default());
+        self.files
+            .get_mut(path)
+            .ok_or_else(|| OlfsError::BadState(format!("{path} vanished after insert")))
     }
 
     /// Creates a directory path explicitly.
     pub fn mkdir_p(&mut self, path: &UdfPath) -> Result<(), OlfsError> {
-        let key = path.to_string();
-        if self.files.contains_key(&key) {
-            return Err(OlfsError::Invalid(format!("{key} is a file")));
-        }
-        let mut cur = Some(path.clone());
-        while let Some(d) = cur {
-            if self.files.contains_key(&d.to_string()) {
-                return Err(OlfsError::Invalid(format!("{d} is a file")));
-            }
-            self.dirs.insert(d.to_string());
-            cur = d.parent();
-        }
-        Ok(())
+        self.ensure_dir_chain(Some(path.clone()))
     }
 
     /// Removes a file from the global view (a tombstone in spirit: disc
     /// data remains, §4.6's provenance survives in old MV snapshots).
     pub fn unlink(&mut self, path: &UdfPath) -> Result<IndexFile, OlfsError> {
-        self.files
-            .remove(&path.to_string())
-            .ok_or_else(|| OlfsError::NotFound(path.to_string()))
+        let idx = self
+            .files
+            .remove(path)
+            .ok_or_else(|| OlfsError::NotFound(path.to_string()))?;
+        if let Some(name) = path.name() {
+            let name = name.to_string();
+            if let Some(parent) = path.parent() {
+                if let Some(node) = self.dirs.get_mut(&parent) {
+                    node.unlink(&name);
+                }
+            }
+        }
+        Ok(idx)
     }
 
-    /// Lists the immediate children of a directory: `(name, is_dir)`.
+    /// Lists the immediate children of a directory: `(name, is_dir)`,
+    /// sorted by name. O(children) — a clone of the maintained sidecar,
+    /// cross-checked in debug builds against a full namespace sweep.
     pub fn list(&self, dir: &UdfPath) -> Result<Vec<(String, bool)>, OlfsError> {
-        let key = dir.to_string();
-        if !self.dirs.contains(&key) {
-            return Err(OlfsError::NotFound(key));
+        match self.dirs.get(dir) {
+            Some(node) => {
+                debug_assert_eq!(
+                    node.children,
+                    self.sweep_children(dir),
+                    "sidecar and namespace-sweep oracle disagree on list({dir})"
+                );
+                Ok(node.children.clone())
+            }
+            None => Err(OlfsError::NotFound(dir.to_string())),
         }
-        let prefix = if key == "/" {
-            "/".to_string()
-        } else {
-            format!("{key}/")
-        };
-        let mut out: BTreeMap<String, bool> = BTreeMap::new();
-        let child_of = |full: &str| -> Option<(String, bool)> {
-            let rest = full.strip_prefix(&prefix)?;
-            if rest.is_empty() {
-                return None;
-            }
-            match rest.split_once('/') {
-                Some((head, _)) => Some((head.to_string(), true)),
-                None => Some((rest.to_string(), false)),
-            }
-        };
-        for d in self.dirs.range(prefix.clone()..) {
-            if !d.starts_with(&prefix) {
-                break;
-            }
-            if let Some((name, _)) = child_of(d) {
-                out.insert(name, true);
-            }
-        }
-        for f in self.files.range(prefix.clone()..) {
-            if !f.0.starts_with(&prefix) {
-                break;
-            }
-            if let Some((name, is_dir)) = child_of(f.0) {
-                out.entry(name).or_insert(is_dir);
-            }
-        }
-        Ok(out.into_iter().collect())
     }
 
-    /// Iterates over every `(path, index)` pair.
-    pub fn iter_files(&self) -> impl Iterator<Item = (&String, &IndexFile)> {
-        self.files.iter()
+    /// Debug oracle for [`MetadataVolume::list`]: recomputes a directory's
+    /// children by sweeping the whole namespace, the way the old sorted-map
+    /// MV derived listings.
+    fn sweep_children(&self, dir: &UdfPath) -> Vec<(String, bool)> {
+        let depth = dir.components().len();
+        let mut out: BTreeMap<String, bool> = BTreeMap::new();
+        for (p, _) in self.dirs.iter() {
+            if p.components().len() > depth && p.starts_with(dir) {
+                out.insert(p.components()[depth].clone(), true);
+            }
+        }
+        for (p, _) in self.files.iter() {
+            if p.components().len() > depth && p.starts_with(dir) {
+                let is_dir = p.components().len() > depth + 1;
+                out.entry(p.components()[depth].clone()).or_insert(is_dir);
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Iterates over every `(path, index)` pair in path-string order —
+    /// the same order the old sorted-map MV yielded, so maintenance
+    /// sweeps visit files identically.
+    pub fn iter_files(&self) -> impl Iterator<Item = (&UdfPath, &IndexFile)> {
+        let mut v: Vec<(&UdfPath, &IndexFile)> = self.files.iter().collect();
+        v.sort_by_cached_key(|(p, _)| p.to_string());
+        v.into_iter()
     }
 
     /// Number of index files.
@@ -163,7 +290,7 @@ impl MetadataVolume {
     /// Total MV bytes consumed: index files plus a block+inode per
     /// directory (§4.2's 2.3 TB-per-2-billion-entries accounting).
     pub fn usage_bytes(&self) -> u64 {
-        let files: u64 = self.files.values().map(IndexFile::mv_bytes).sum();
+        let files: u64 = self.files.iter().map(|(_, i)| i.mv_bytes()).sum();
         let dirs = self.dirs.len() as u64
             * (crate::params::MV_INODE_BYTES + crate::params::MV_BLOCK_BYTES);
         files + dirs

@@ -97,6 +97,9 @@ struct Handle {
     /// Pending contents for writable handles.
     buffer: Option<Vec<u8>>,
     dirty: bool,
+    /// Clock at the last buffer mutation (open seed or `write`), so
+    /// `fstat` of an untouched buffer reports a stable mtime.
+    buffer_mtime_nanos: u64,
 }
 
 /// The descriptor table over an engine.
@@ -177,6 +180,7 @@ impl PosixFs {
         }
         let fd = Fd(self.next_fd);
         self.next_fd += 1;
+        let buffer_mtime_nanos = self.ros.now().as_nanos();
         self.handles.insert(
             fd,
             Handle {
@@ -185,6 +189,7 @@ impl PosixFs {
                 writable: flags.write,
                 buffer,
                 dirty: false,
+                buffer_mtime_nanos,
             },
         );
         Ok(fd)
@@ -213,24 +218,24 @@ impl PosixFs {
 
     /// Reads up to `len` bytes at `offset` without moving the cursor.
     pub fn pread(&mut self, fd: Fd, offset: u64, len: u64) -> Result<Bytes, OlfsError> {
-        let (path, pending) = {
-            let h = self.handle(fd)?;
-            (
-                h.path.clone(),
-                h.writable.then(|| h.buffer.clone()).flatten(),
-            )
-        };
-        if let Some(buf) = pending {
-            // Writable handles read their own uncommitted view.
-            let lo = (offset as usize).min(buf.len());
-            let hi = ((offset + len) as usize).min(buf.len());
-            return Ok(Bytes::copy_from_slice(&buf[lo..hi]));
+        let h = self.handle(fd)?;
+        if h.writable {
+            if let Some(buf) = h.buffer.as_ref() {
+                // Writable handles read their own uncommitted view; only
+                // the requested range is copied out of the mutable
+                // buffer, never the whole file.
+                let lo = (offset as usize).min(buf.len());
+                let hi = ((offset + len) as usize).min(buf.len());
+                return Ok(Bytes::copy_from_slice(&buf[lo..hi]));
+            }
         }
+        let path = h.path.clone();
         Ok(self.ros.read_range(&path, offset, len)?.data)
     }
 
     /// Writes at the cursor, advancing it. Data commits on close.
     pub fn write(&mut self, fd: Fd, data: &[u8]) -> Result<u64, OlfsError> {
+        let now_nanos = self.ros.now().as_nanos();
         let h = self.handle_mut(fd)?;
         if !h.writable {
             return Err(OlfsError::BadState("fd not opened for writing".into()));
@@ -249,6 +254,7 @@ impl PosixFs {
         buf.extend_from_slice(&data[overlap..]);
         h.cursor += data.len() as u64;
         h.dirty = true;
+        h.buffer_mtime_nanos = now_nanos;
         Ok(data.len() as u64)
     }
 
@@ -276,7 +282,7 @@ impl PosixFs {
             return Ok(Stat {
                 size: buf.len() as u64,
                 version: 0, // Uncommitted.
-                mtime_nanos: self.ros.now().as_nanos(),
+                mtime_nanos: h.buffer_mtime_nanos,
             });
         }
         let path = h.path.clone();
@@ -462,6 +468,30 @@ mod tests {
         assert!(fs.stat(&p("/rw")).is_err());
         fs.close(fd).unwrap();
         assert_eq!(fs.stat(&p("/rw")).unwrap().size, 7);
+    }
+
+    #[test]
+    fn fstat_mtime_is_stable_on_untouched_dirty_buffer() {
+        use ros_sim::SimDuration;
+        let mut fs = fs();
+        let fd = fs.open(&p("/mt"), OpenFlags::create_truncate()).unwrap();
+        fs.write(fd, b"payload").unwrap();
+        let first = fs.fstat(fd).unwrap().mtime_nanos;
+        // Wall time moves on, but the buffer was not touched: a second
+        // fstat must report the same modification time.
+        fs.ros_mut().run_for(SimDuration::from_secs(5));
+        let second = fs.fstat(fd).unwrap().mtime_nanos;
+        assert_eq!(
+            first, second,
+            "fstat of an untouched dirty buffer must not drift with the clock"
+        );
+        // A new write advances it (to the clock at write time).
+        fs.ros_mut().run_for(SimDuration::from_secs(1));
+        fs.write(fd, b"!").unwrap();
+        let third = fs.fstat(fd).unwrap().mtime_nanos;
+        assert!(third > second, "a write must refresh the buffer mtime");
+        assert_eq!(third, fs.ros().now().as_nanos());
+        fs.close(fd).unwrap();
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use crate::block::BLOCK_SIZE;
 use crate::format::{self, FormatError};
 use crate::image::SealedImage;
-use crate::tree::{FsTree, Path, TreeError};
+use crate::pathindex::PathIndex;
+use crate::tree::{FileMeta, FsTree, Path, TreeError};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -61,12 +62,88 @@ impl core::fmt::Display for BucketError {
 
 impl std::error::Error for BucketError {}
 
+/// A staged file's flat-index entry: stat metadata plus a refcounted
+/// handle on the staged payload.
+#[derive(Clone, Debug)]
+struct Staged {
+    meta: FileMeta,
+    data: Bytes,
+}
+
 /// An open, updatable UDF bucket.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// The staged namespace is mutable, so the flat `Hash(path) → entry`
+/// index is maintained *incrementally* by the same operations that
+/// mutate the tree ([`Bucket::write`], [`Bucket::update`],
+/// [`Bucket::recycle`]); reads resolve through it in O(1) with the
+/// hierarchical tree retained as a debug-build oracle. The serialized
+/// form carries only the tree — the index is derived state, rebuilt on
+/// deserialize — so the snapshot JSON is byte-identical to before.
+#[derive(Clone, Debug)]
 pub struct Bucket {
     image_id: u64,
     capacity_bytes: u64,
     tree: FsTree,
+    index: PathIndex<Staged>,
+}
+
+impl Serialize for Bucket {
+    fn serialize_value(&self) -> serde::Value {
+        BucketSnapshot {
+            image_id: self.image_id,
+            capacity_bytes: self.capacity_bytes,
+            tree: self.tree.clone(),
+        }
+        .serialize_value()
+    }
+}
+
+impl Deserialize for Bucket {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Bucket::from(BucketSnapshot::deserialize_value(v)?))
+    }
+}
+
+/// Serde shadow of [`Bucket`]: the persisted fields only, in the same
+/// order the pre-index struct serialized them.
+#[derive(Serialize, Deserialize)]
+struct BucketSnapshot {
+    image_id: u64,
+    capacity_bytes: u64,
+    tree: FsTree,
+}
+
+impl From<Bucket> for BucketSnapshot {
+    fn from(b: Bucket) -> Self {
+        BucketSnapshot {
+            image_id: b.image_id,
+            capacity_bytes: b.capacity_bytes,
+            tree: b.tree,
+        }
+    }
+}
+
+impl From<BucketSnapshot> for Bucket {
+    fn from(s: BucketSnapshot) -> Self {
+        let index = index_of(&s.tree);
+        Bucket {
+            image_id: s.image_id,
+            capacity_bytes: s.capacity_bytes,
+            tree: s.tree,
+            index,
+        }
+    }
+}
+
+/// Rebuilds the derived flat index from a tree (deserialize path).
+fn index_of(tree: &FsTree) -> PathIndex<Staged> {
+    let mut index = PathIndex::new();
+    for (path, meta) in tree.walk_files() {
+        if let Ok(data) = tree.read(&path) {
+            index.insert(path, Staged { meta, data });
+        }
+    }
+    index
 }
 
 impl Bucket {
@@ -76,6 +153,7 @@ impl Bucket {
             image_id,
             capacity_bytes,
             tree: FsTree::new(),
+            index: PathIndex::new(),
         }
     }
 
@@ -110,6 +188,63 @@ impl Bucket {
         &self.tree
     }
 
+    /// Reads a staged file in O(1) through the flat index; the returned
+    /// [`Bytes`] is a refcounted handle, not a copy. Misses fall back to
+    /// the tree so callers get the exact [`TreeError`].
+    pub fn read(&self, path: &Path) -> Result<Bytes, TreeError> {
+        match self.index.get(path) {
+            Some(s) => {
+                debug_assert_eq!(
+                    self.tree.read(path).as_ref().ok(),
+                    Some(&s.data),
+                    "bucket index and tree oracle disagree on read({path})"
+                );
+                Ok(s.data.clone())
+            }
+            None => {
+                let err = self.tree.read(path);
+                debug_assert!(
+                    err.is_err(),
+                    "tree resolves {path} but the bucket index does not"
+                );
+                err
+            }
+        }
+    }
+
+    /// Stats a staged file via the flat index (tree oracle in debug).
+    pub fn stat(&self, path: &Path) -> Result<FileMeta, TreeError> {
+        match self.index.get(path) {
+            Some(s) => {
+                debug_assert_eq!(
+                    self.tree.stat(path).ok(),
+                    Some(s.meta.clone()),
+                    "bucket index and tree oracle disagree on stat({path})"
+                );
+                Ok(s.meta.clone())
+            }
+            None => {
+                let err = self.tree.stat(path);
+                debug_assert!(
+                    err.is_err(),
+                    "tree stats {path} but the bucket index does not"
+                );
+                err
+            }
+        }
+    }
+
+    /// Returns true if the bucket stages the file.
+    pub fn contains(&self, path: &Path) -> bool {
+        let hit = self.index.contains(path);
+        debug_assert_eq!(
+            hit,
+            self.tree.is_file(path),
+            "bucket index and tree oracle disagree on contains({path})"
+        );
+        hit
+    }
+
     /// The on-image cost a write would incur (data + entry + any new
     /// ancestor directories).
     pub fn cost_of(&self, path: &Path, size: u64) -> u64 {
@@ -142,7 +277,17 @@ impl Bucket {
         if needed > free {
             return Err(BucketError::WontFit { needed, free });
         }
-        self.tree.insert(path, data, mtime_nanos)?;
+        self.tree.insert(path, data.clone(), mtime_nanos)?;
+        self.index.insert(
+            path.clone(),
+            Staged {
+                meta: FileMeta {
+                    size: data.len() as u64,
+                    mtime_nanos,
+                },
+                data,
+            },
+        );
         Ok(())
     }
 
@@ -166,7 +311,17 @@ impl Bucket {
                 free: self.free_bytes(),
             });
         }
-        self.tree.update(path, data, mtime_nanos)?;
+        self.tree.update(path, data.clone(), mtime_nanos)?;
+        self.index.insert(
+            path.clone(),
+            Staged {
+                meta: FileMeta {
+                    size: data.len() as u64,
+                    mtime_nanos,
+                },
+                data,
+            },
+        );
         Ok(())
     }
 
@@ -175,6 +330,7 @@ impl Bucket {
     pub fn recycle(&mut self, new_image_id: u64) {
         self.image_id = new_image_id;
         self.tree = FsTree::new();
+        self.index = PathIndex::new();
     }
 
     /// Seals the bucket into an immutable disc image.
@@ -286,6 +442,41 @@ mod tests {
         // Closing doesn't consume the bucket; it can still be recycled.
         b.recycle(2);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_the_index() {
+        let mut b = bucket(64);
+        b.write(&p("/a/x"), &b"one"[..], 1).unwrap();
+        b.write(&p("/a/y"), &b"two"[..], 2).unwrap();
+        let json = serde_json::to_string(&b).unwrap();
+        // The snapshot carries only the persisted fields — no index blob.
+        assert!(json.contains("\"image_id\""));
+        assert!(json.contains("\"tree\""));
+        assert!(!json.contains("index"));
+        let back: Bucket = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.read(&p("/a/x")).unwrap().as_ref(), b"one");
+        assert_eq!(back.stat(&p("/a/y")).unwrap().mtime_nanos, 2);
+        assert!(back.contains(&p("/a/y")));
+        assert!(!back.contains(&p("/a")));
+        // Re-serializing the round-tripped bucket is byte-identical.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn index_tracks_write_update_recycle() {
+        let mut b = bucket(64);
+        b.write(&p("/f"), &b"v1"[..], 1).unwrap();
+        assert_eq!(b.read(&p("/f")).unwrap().as_ref(), b"v1");
+        b.update(&p("/f"), &b"version-two"[..], 2).unwrap();
+        assert_eq!(b.read(&p("/f")).unwrap().as_ref(), b"version-two");
+        assert_eq!(b.stat(&p("/f")).unwrap().size, 11);
+        b.recycle(7);
+        assert!(!b.contains(&p("/f")));
+        assert!(matches!(
+            b.read(&p("/f")).unwrap_err(),
+            TreeError::NotFound(_)
+        ));
     }
 
     #[test]

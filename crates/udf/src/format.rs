@@ -67,6 +67,14 @@ pub enum FormatError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A tree value exceeds its fixed-width on-image field; serialising
+    /// would silently truncate it and corrupt the round-trip.
+    FieldOverflow {
+        /// Which on-image field overflowed.
+        field: &'static str,
+        /// The value that did not fit.
+        value: u64,
+    },
 }
 
 impl core::fmt::Display for FormatError {
@@ -80,6 +88,9 @@ impl core::fmt::Display for FormatError {
             FormatError::BadVersion(v) => write!(f, "unsupported version {v}"),
             FormatError::Corrupt { block, reason } => {
                 write!(f, "corrupt image at block {block}: {reason}")
+            }
+            FormatError::FieldOverflow { field, value } => {
+                write!(f, "{field} {value} exceeds its on-image field width")
             }
         }
     }
@@ -107,6 +118,12 @@ impl Writer {
         let s = (block * BLOCK_SIZE) as usize + offset;
         self.buf[s..s + data.len()].copy_from_slice(data);
     }
+}
+
+/// Checked narrowing into a u32 on-image field: a value that does not
+/// fit is a [`FormatError::FieldOverflow`], never a silent saturation.
+fn fits_u32(value: u64, field: &'static str) -> Result<u32, FormatError> {
+    u32::try_from(value).map_err(|_| FormatError::FieldOverflow { field, value })
 }
 
 fn put_u32(b: &mut [u8], off: usize, v: u32) -> usize {
@@ -145,24 +162,32 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
         order: Vec::new(),
         next: OVERHEAD_BLOCKS,
     };
-    fn assign<'a>(node: &'a FsNode, a: &mut Alloc<'a>) {
+    fn assign<'a>(node: &'a FsNode, a: &mut Alloc<'a>) -> Result<(), FormatError> {
         a.icb.insert(node as *const FsNode, a.next);
         a.order.push(node);
         a.next += 1;
         match node {
             FsNode::File { meta, .. } => {
-                a.next += blocks_for(meta.size);
+                let data_blocks = blocks_for(meta.size);
+                fits_u32(data_blocks, "file data block count")?;
+                a.next += data_blocks;
             }
             FsNode::Dir { children } => {
+                fits_u32(children.len() as u64, "directory child count")?;
                 let fid_bytes: u64 = children.keys().map(|n| fid_cost(n)).sum();
-                a.next += blocks_for(fid_bytes);
+                let fid_blocks = blocks_for(fid_bytes);
+                fits_u32(fid_blocks, "FID data block count")?;
+                a.next += fid_blocks;
                 for child in children.values() {
-                    assign(child, a);
+                    assign(child, a)?;
                 }
             }
         }
+        Ok(())
     }
-    assign(tree.root_node(), &mut alloc);
+    // Pass 1 also validates every fixed-width field, so oversize trees
+    // fail typed *before* the image buffer below is allocated.
+    assign(tree.root_node(), &mut alloc)?;
     let used_blocks = alloc.next;
 
     let mut w = Writer::new(used_blocks);
@@ -184,33 +209,35 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
     }
 
     // Pass 2: write ICBs, FID streams and data.
-    fn emit(node: &FsNode, icbs: &BTreeMap<*const FsNode, u64>, w: &mut Writer) {
+    fn emit(
+        node: &FsNode,
+        icbs: &BTreeMap<*const FsNode, u64>,
+        w: &mut Writer,
+    ) -> Result<(), FormatError> {
         let my_icb = icbs[&(node as *const FsNode)];
         match node {
             FsNode::File { meta, data } => {
+                let data_blocks = fits_u32(blocks_for(meta.size), "file data block count")?;
                 let data_start = my_icb + 1;
                 let b = w.at(my_icb);
                 b[0] = b'F';
                 let mut off = put_u64(b, 1, meta.size);
                 off = put_u64(b, off, meta.mtime_nanos);
                 off = put_u64(b, off, data_start);
-                put_u32(
-                    b,
-                    off,
-                    u32::try_from(blocks_for(meta.size)).unwrap_or(u32::MAX),
-                );
+                put_u32(b, off, data_blocks);
                 w.write_bytes(data_start, 0, data);
             }
             FsNode::Dir { children } => {
+                let child_count = fits_u32(children.len() as u64, "directory child count")?;
                 let fid_bytes: u64 = children.keys().map(|n| fid_cost(n)).sum();
-                let data_blocks = blocks_for(fid_bytes);
+                let data_blocks = fits_u32(blocks_for(fid_bytes), "FID data block count")?;
                 let data_start = my_icb + 1;
                 {
                     let b = w.at(my_icb);
                     b[0] = b'D';
-                    let mut off = put_u32(b, 1, u32::try_from(children.len()).unwrap_or(u32::MAX));
+                    let mut off = put_u32(b, 1, child_count);
                     off = put_u64(b, off, data_start);
-                    put_u32(b, off, u32::try_from(data_blocks).unwrap_or(u32::MAX));
+                    put_u32(b, off, data_blocks);
                 }
                 // FID stream.
                 let mut stream = Vec::with_capacity(fid_bytes as usize);
@@ -220,7 +247,7 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
                         FsNode::File { .. } => b'f',
                     };
                     stream.push(kind);
-                    let name_len = u32::try_from(name.len()).unwrap_or(u32::MAX);
+                    let name_len = fits_u32(name.len() as u64, "FID name length")?;
                     stream.extend_from_slice(&name_len.to_le_bytes());
                     stream.extend_from_slice(name.as_bytes());
                     let child_icb = icbs[&(child as *const FsNode)];
@@ -230,12 +257,13 @@ pub fn serialize(tree: &FsTree, image_id: u64, capacity_bytes: u64) -> Result<By
                     w.write_bytes(data_start, 0, &stream);
                 }
                 for child in children.values() {
-                    emit(child, icbs, w);
+                    emit(child, icbs, w)?;
                 }
             }
         }
+        Ok(())
     }
-    emit(tree.root_node(), &alloc.icb, &mut w);
+    emit(tree.root_node(), &alloc.icb, &mut w)?;
 
     Ok(Bytes::from(w.buf))
 }
@@ -275,8 +303,22 @@ fn get_u64(b: &[u8], off: usize) -> u64 {
 }
 
 /// Parses image bytes back into a tree and header.
+///
+/// Copies file data out of the slice; prefer [`parse_image`] when the
+/// caller owns refcounted [`Bytes`] — that variant is zero-copy.
 pub fn parse(bytes: &[u8]) -> Result<(FsTree, ImageHeader), FormatError> {
-    let r = Reader { buf: bytes };
+    parse_image(&Bytes::copy_from_slice(bytes))
+}
+
+/// Parses image bytes back into a tree and header, zero-copy.
+///
+/// Every file node's data is a refcounted slice of `bytes` — parsing
+/// allocates directory structure only, and reads of the resulting tree
+/// hand back slices of the one image buffer.
+pub fn parse_image(bytes: &Bytes) -> Result<(FsTree, ImageHeader), FormatError> {
+    let r = Reader {
+        buf: bytes.as_ref(),
+    };
     let anchor = r.block(0)?;
     if anchor[..8] != MAGIC {
         return Err(FormatError::BadMagic);
@@ -294,7 +336,12 @@ pub fn parse(bytes: &[u8]) -> Result<(FsTree, ImageHeader), FormatError> {
     };
     let root_icb = get_u64(pvd, 24);
 
-    fn parse_node(r: &Reader<'_>, icb: u64, depth: u32) -> Result<FsNode, FormatError> {
+    fn parse_node(
+        r: &Reader<'_>,
+        src: &Bytes,
+        icb: u64,
+        depth: u32,
+    ) -> Result<FsNode, FormatError> {
         if depth > 256 {
             return Err(FormatError::Corrupt {
                 block: icb,
@@ -307,10 +354,13 @@ pub fn parse(bytes: &[u8]) -> Result<(FsTree, ImageHeader), FormatError> {
                 let size = get_u64(b, 1);
                 let mtime_nanos = get_u64(b, 9);
                 let data_start = get_u64(b, 17);
-                let data = r.span(data_start, size)?;
+                // Bounds-check through the reader, then hand out a
+                // refcounted slice of the source image — no copy.
+                r.span(data_start, size)?;
+                let s = (data_start * BLOCK_SIZE) as usize;
                 Ok(FsNode::File {
                     meta: FileMeta { size, mtime_nanos },
-                    data: Bytes::copy_from_slice(data),
+                    data: src.slice(s..s + size as usize),
                 })
             }
             b'D' => {
@@ -349,7 +399,7 @@ pub fn parse(bytes: &[u8]) -> Result<(FsTree, ImageHeader), FormatError> {
                     off += name_len;
                     let child_icb = get_u64(stream, off);
                     off += 8;
-                    let child = parse_node(r, child_icb, depth + 1)?;
+                    let child = parse_node(r, src, child_icb, depth + 1)?;
                     children.insert(name, child);
                 }
                 Ok(FsNode::Dir { children })
@@ -361,7 +411,7 @@ pub fn parse(bytes: &[u8]) -> Result<(FsTree, ImageHeader), FormatError> {
         }
     }
 
-    let root = parse_node(&r, root_icb, 0)?;
+    let root = parse_node(&r, bytes, root_icb, 0)?;
     match &root {
         FsNode::Dir { .. } => Ok((FsTree::from_root(root), header)),
         FsNode::File { .. } => Err(FormatError::Corrupt {
@@ -500,6 +550,35 @@ mod tests {
         let bytes = serialize(&t, 9, 1 << 24).unwrap();
         let (parsed, _) = parse(&bytes).unwrap();
         assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn oversized_icb_field_is_a_typed_error() {
+        // A file whose data-block count exceeds the u32 ICB field: the
+        // old code saturated it to u32::MAX (silent round-trip
+        // corruption) after attempting a multi-terabyte buffer
+        // allocation. Serialisation must instead fail fast with a typed
+        // error, before any block buffer is allocated.
+        let size = (u64::from(u32::MAX) + 1) * BLOCK_SIZE;
+        let mut children = BTreeMap::new();
+        children.insert(
+            "huge".to_string(),
+            FsNode::File {
+                meta: FileMeta {
+                    size,
+                    mtime_nanos: 0,
+                },
+                data: Bytes::new(),
+            },
+        );
+        let t = FsTree::from_root(FsNode::Dir { children });
+        assert_eq!(
+            serialize(&t, 1, u64::MAX).unwrap_err(),
+            FormatError::FieldOverflow {
+                field: "file data block count",
+                value: u64::from(u32::MAX) + 1,
+            }
+        );
     }
 
     #[test]

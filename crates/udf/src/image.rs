@@ -12,26 +12,55 @@
 //! of §4.4.
 
 use crate::format::{self, FormatError, ImageHeader};
+use crate::pathindex::PathIndex;
 use crate::tree::{FileMeta, FsTree, Path, TreeError};
 use bytes::Bytes;
 
+/// One file's resolved entry in a sealed image's flat namespace index:
+/// the stat metadata plus a zero-copy slice of the image payload.
+#[derive(Clone, Debug)]
+struct Entry {
+    meta: FileMeta,
+    data: Bytes,
+}
+
 /// An immutable, parsed disc image.
+///
+/// The namespace is *closed* once sealed, so resolution goes through a
+/// flat `Hash(path) → entry` index ([`PathIndex`]) built exactly once at
+/// parse time — O(1) per lookup regardless of directory depth. The
+/// hierarchical [`FsTree`] is retained as the structural source of truth
+/// (directory listings, serialization) and as a debug-build oracle: every
+/// indexed resolution is cross-checked against the tree walk under
+/// `debug_assertions`.
 #[derive(Clone, Debug)]
 pub struct SealedImage {
     header: ImageHeader,
     bytes: Bytes,
     tree: FsTree,
+    index: PathIndex<Entry>,
 }
 
 impl SealedImage {
     /// Parses raw image bytes (e.g. read back from a disc).
     pub fn from_bytes(bytes: impl Into<Bytes>) -> Result<Self, FormatError> {
         let bytes = bytes.into();
-        let (tree, header) = format::parse(&bytes)?;
+        let (tree, header) = format::parse_image(&bytes)?;
+        let mut index = PathIndex::new();
+        for (path, meta) in tree.walk_files() {
+            // `read` on a just-parsed tree is a cheap refcount bump: the
+            // parser hands out slices of the image buffer, not copies.
+            let data = tree.read(&path).map_err(|_| FormatError::Corrupt {
+                block: 0,
+                reason: "walked path missing from its own tree",
+            })?;
+            index.insert(path, Entry { meta, data });
+        }
         Ok(SealedImage {
             header,
             bytes,
             tree,
+            index,
         })
     }
 
@@ -61,18 +90,63 @@ impl SealedImage {
     }
 
     /// Reads one file by its (global) path.
+    ///
+    /// Resolution is an O(1) index probe; the returned [`Bytes`] is a
+    /// refcounted slice of the image buffer, not a copy. Index misses
+    /// fall back to the tree walk so the caller gets the exact
+    /// [`TreeError`] (NotFound vs IsADirectory) the hierarchy reports.
     pub fn read(&self, path: &Path) -> Result<Bytes, TreeError> {
-        self.tree.read(path)
+        match self.index.get(path) {
+            Some(e) => {
+                debug_assert_eq!(
+                    self.tree.read(path).as_ref().ok(),
+                    Some(&e.data),
+                    "index and tree oracle disagree on read({path})"
+                );
+                Ok(e.data.clone())
+            }
+            None => {
+                let err = self.tree.read(path);
+                debug_assert!(
+                    err.is_err(),
+                    "tree resolves {path} but the sealed index does not"
+                );
+                err
+            }
+        }
     }
 
-    /// Stats one file.
+    /// Stats one file via the flat index (tree-walk oracle in debug).
     pub fn stat(&self, path: &Path) -> Result<FileMeta, TreeError> {
-        self.tree.stat(path)
+        match self.index.get(path) {
+            Some(e) => {
+                debug_assert_eq!(
+                    self.tree.stat(path).ok(),
+                    Some(e.meta.clone()),
+                    "index and tree oracle disagree on stat({path})"
+                );
+                Ok(e.meta.clone())
+            }
+            None => {
+                let err = self.tree.stat(path);
+                debug_assert!(
+                    err.is_err(),
+                    "tree stats {path} but the sealed index does not"
+                );
+                err
+            }
+        }
     }
 
     /// Returns true if the image carries the file.
     pub fn contains(&self, path: &Path) -> bool {
-        self.tree.is_file(path)
+        let hit = self.index.contains(path);
+        debug_assert_eq!(
+            hit,
+            self.tree.is_file(path),
+            "index and tree oracle disagree on contains({path})"
+        );
+        hit
     }
 
     /// Enumerates every file in the image — the namespace-scan primitive
@@ -135,6 +209,22 @@ mod tests {
         let files = img.scan_files();
         let paths: Vec<String> = files.iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(paths, vec!["/proj/Cargo.toml", "/proj/src/main.rs"]);
+    }
+
+    #[test]
+    fn read_is_a_zero_copy_slice_of_the_image_buffer() {
+        let img = sealed();
+        let data = img.read(&p("/proj/src/main.rs")).unwrap();
+        let buf = img.bytes().as_ptr() as usize;
+        let end = buf + img.bytes().len();
+        let d = data.as_ptr() as usize;
+        assert!(
+            d >= buf && d + data.len() <= end,
+            "read() must hand out a slice of the image payload, not a copy"
+        );
+        // Repeated reads are refcount bumps over the same storage.
+        let again = img.read(&p("/proj/src/main.rs")).unwrap();
+        assert_eq!(again.as_ptr(), data.as_ptr());
     }
 
     #[test]

@@ -34,10 +34,16 @@ impl Path {
             return Err(TreeError::InvalidPath(s.to_string()));
         }
         let mut components = Vec::new();
-        for c in s.split('/').skip(1) {
+        let mut parts = s.split('/').skip(1).peekable();
+        while let Some(c) = parts.next() {
             if c.is_empty() {
-                // Allow a single trailing slash ("/a/b/" == "/a/b").
-                continue;
+                // Allow a single trailing slash ("/a/b/" == "/a/b") but
+                // reject interior empties: "/a//b" must not alias "/a/b"
+                // (the path string is the file's identity, §4.4).
+                if parts.peek().is_none() {
+                    continue;
+                }
+                return Err(TreeError::InvalidPath(s.to_string()));
             }
             if c == "." || c == ".." || c.contains('\0') {
                 return Err(TreeError::InvalidPath(s.to_string()));
@@ -504,6 +510,21 @@ mod tests {
         assert_eq!(p("/a").join("b"), p("/a/b"));
         assert!(p("/a/b").starts_with(&p("/a")));
         assert!(!p("/ab").starts_with(&p("/a")));
+    }
+
+    #[test]
+    fn interior_empty_components_are_rejected() {
+        // "/a//b" must NOT alias "/a/b": under the unique-file-path
+        // mechanism (§4.4) the path string is the identity of the file,
+        // so two spellings resolving to the same components is namespace
+        // aliasing. Only a single trailing slash is normalised.
+        assert!(Path::parse("/a//b").is_err(), "interior empty aliases /a/b");
+        assert!(Path::parse("//a").is_err(), "leading double slash");
+        assert!(Path::parse("/a//").is_err(), "empty before trailing slash");
+        assert!(Path::parse("//").is_err(), "root with interior empty");
+        // The documented normalisations still hold.
+        assert_eq!(p("/a/b/").components(), &["a", "b"]);
+        assert_eq!(p("/").components().len(), 0);
     }
 
     #[test]

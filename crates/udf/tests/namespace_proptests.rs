@@ -1,0 +1,97 @@
+//! Property tests for the flat namespace layer:
+//!
+//! - `Path` parse∘Display round-trips exactly, a single trailing slash
+//!   is the only tolerated decoration, and interior empty components
+//!   are always rejected (the aliasing bug class this layer fixes);
+//! - distinct parsed paths never alias a `PathIndex` slot: inserting n
+//!   distinct paths yields n live entries, each resolving to its own
+//!   value, even when every key is forced through one collision chain.
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use ros_udf::{PathIndex, UdfPath};
+use std::collections::BTreeMap;
+
+const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789._-";
+
+/// A random well-formed absolute path, 1–5 components deep.
+fn random_path(rng: &mut impl Rng) -> String {
+    let depth = 1 + rng.gen::<usize>() % 5;
+    let mut s = String::new();
+    for _ in 0..depth {
+        s.push('/');
+        loop {
+            let len = 1 + rng.gen::<usize>() % 12;
+            let c: String = (0..len)
+                .map(|_| CHARS[rng.gen::<usize>() % CHARS.len()] as char)
+                .collect();
+            // `.` and `..` are reserved and rejected by the parser.
+            if c != "." && c != ".." {
+                s.push_str(&c);
+                break;
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn parse_display_roundtrip(seed in 0u64..400) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let s = random_path(&mut rng);
+            let p: UdfPath = s.parse().unwrap();
+            // Display is the exact inverse of parse.
+            prop_assert_eq!(p.to_string(), s.clone());
+            let again: UdfPath = p.to_string().parse().unwrap();
+            prop_assert_eq!(&again, &p);
+            // A single trailing slash normalizes to the same path...
+            let trailing: UdfPath = format!("{s}/").parse().unwrap();
+            prop_assert_eq!(&trailing, &p);
+            // ...but interior or doubled empties must be rejected, not
+            // collapsed into an aliasing sibling of `p`.
+            let double_trailing = format!("{s}//");
+            prop_assert!(double_trailing.parse::<UdfPath>().is_err());
+            let double_leading = format!("/{s}");
+            prop_assert!(double_leading.parse::<UdfPath>().is_err());
+            let doubled = s.replacen('/', "//", 1);
+            prop_assert!(doubled.parse::<UdfPath>().is_err());
+        }
+    }
+
+    #[test]
+    fn distinct_paths_never_share_a_slot(seed in 0u64..300) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // One initial bucket: every key starts in the same chain, so
+        // aliasing would be caught even across forced collisions; the
+        // table still grows (and redistributes) past the chain ceiling.
+        let mut index: PathIndex<u32> = PathIndex::with_seed_and_buckets(seed, 1);
+        let mut model: BTreeMap<String, u32> = BTreeMap::new();
+        for i in 0..120u32 {
+            let s = random_path(&mut rng);
+            let p: UdfPath = s.parse().unwrap();
+            let in_model = model.insert(s, i);
+            let in_index = index.insert(p, i);
+            // Replacement happens exactly when the string key repeats:
+            // two distinct paths never land in one slot.
+            prop_assert_eq!(in_index, in_model);
+        }
+        prop_assert_eq!(index.len(), model.len());
+        for (s, v) in &model {
+            let p: UdfPath = s.parse().unwrap();
+            prop_assert_eq!(index.get(&p), Some(v));
+        }
+        // Removing half the keys leaves the other half untouched.
+        let keys: Vec<String> = model.keys().cloned().collect();
+        for s in keys.iter().step_by(2) {
+            let p: UdfPath = s.parse().unwrap();
+            prop_assert_eq!(index.remove(&p), model.remove(s).as_ref().copied());
+        }
+        prop_assert_eq!(index.len(), model.len());
+        for (s, v) in &model {
+            let p: UdfPath = s.parse().unwrap();
+            prop_assert_eq!(index.get(&p), Some(v));
+        }
+    }
+}
