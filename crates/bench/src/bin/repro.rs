@@ -15,6 +15,12 @@
 //! duplicated Zipf ingest through dedup-off and dedup-on engines) and
 //! exits non-zero unless dedup burns strictly less and every alias
 //! reads back digest-exact.
+//!
+//! Durability harness: `repro durability` (full sweep), `repro
+//! durability --smoke` (CI-sized), `--json` for the raw deterministic
+//! report. Exits non-zero on silent-corruption reads, non-determinism
+//! across the seeded re-run, a campaign that never exercised rot, or
+//! data loss at the recommended operating point.
 
 use ros_bench::{perf, render};
 
@@ -99,6 +105,28 @@ fn main() {
         }
         return;
     }
+    if arg == "durability" {
+        let mut smoke = false;
+        let mut json = false;
+        for flag in args.iter().skip(1) {
+            match flag.as_str() {
+                "--smoke" => smoke = true,
+                "--json" => json = true,
+                other => {
+                    eprintln!("unknown durability flag '{other}'; expected --smoke or --json");
+                    std::process::exit(2);
+                }
+            }
+        }
+        match render::render_durability(smoke, json) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("durability campaign failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let out = match arg.as_str() {
         "table1" => render::render_table1(),
         "table2" => Ok(render::render_table2()),
@@ -122,7 +150,7 @@ fn main() {
             eprintln!(
                 "unknown experiment '{other}'; expected one of: table1 table2 table3 \
                  fig6 fig7 fig8 fig9 fig10 tco power mvrec capacity ablations \
-                 cluster cluster-smoke cas-smoke all json perf chaos"
+                 cluster cluster-smoke cas-smoke all json perf chaos durability"
             );
             std::process::exit(2);
         }

@@ -12,6 +12,7 @@
 pub mod cas;
 pub mod chaos;
 pub mod cluster;
+pub mod durability;
 pub mod experiments;
 pub mod perf;
 pub mod render;

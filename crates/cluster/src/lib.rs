@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod error;
 pub mod failure;
@@ -39,6 +40,7 @@ pub mod router;
 pub mod stats;
 pub mod supervise;
 
+pub use audit::ClusterAuditReport;
 pub use config::ClusterConfig;
 pub use error::ClusterError;
 pub use failure::DrillReport;

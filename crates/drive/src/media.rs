@@ -214,6 +214,10 @@ pub struct Disc {
     finalized: bool,
     /// Corrupted (unreadable) absolute sector indices.
     corrupted: BTreeSet<u64>,
+    /// Bytes silently flipped by latent media decay (see
+    /// [`Disc::rot_bytes`]); absent in older serialized discs.
+    #[serde(default)]
+    rotted_bytes: u64,
 }
 
 impl Disc {
@@ -227,6 +231,7 @@ impl Disc {
             burned_sectors: 0,
             finalized: false,
             corrupted: BTreeSet::new(),
+            rotted_bytes: 0,
         }
     }
 
@@ -375,6 +380,61 @@ impl Disc {
     /// Marks a sector unreadable (fault injection / media ageing).
     pub fn corrupt_sector(&mut self, sector: u64) {
         self.corrupted.insert(sector);
+    }
+
+    /// Silently flips up to `count` payload bytes of one burned track —
+    /// *latent* sector rot. Unlike [`Disc::corrupt_sector`], no sector
+    /// is marked unreadable: reads still succeed and hand back wrong
+    /// bytes, a scrub sees nothing, and only an end-to-end content
+    /// digest (the CAS audit) can detect the damage. `selector` picks
+    /// the victim track and byte offsets deterministically. Returns the
+    /// number of bytes actually flipped (0 on a blank disc).
+    pub fn rot_bytes(&mut self, selector: u64, count: u32) -> usize {
+        if self.tracks.is_empty() || count == 0 {
+            return 0;
+        }
+        let tidx = usize::try_from(selector % self.tracks.len() as u64).unwrap_or(0);
+        // Mix the cumulative rot count into the strike so repeated
+        // strikes with the same selector damage *new* positions instead
+        // of XOR-restoring the old ones — aging accumulates.
+        let salt = self.rotted_bytes;
+        let track = &mut self.tracks[tidx];
+        let flipped = match &mut track.payload {
+            Payload::Inline(bytes) => {
+                if bytes.is_empty() {
+                    return 0;
+                }
+                let mut buf = bytes.to_vec();
+                let len = buf.len() as u64;
+                let start = selector
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    % len;
+                let n = u64::from(count).min(len);
+                for k in 0..n {
+                    let at = usize::try_from(start.wrapping_add(k) % len).unwrap_or(0);
+                    buf[at] ^= 0xA5;
+                }
+                *bytes = Bytes::from(buf);
+                usize::try_from(n).unwrap_or(usize::MAX)
+            }
+            Payload::Synthetic { checksum, size } => {
+                if *size == 0 {
+                    return 0;
+                }
+                // No real bytes to flip: perturb the checksum so any
+                // verification against the original still mismatches.
+                *checksum ^= (selector | 1).wrapping_add(salt);
+                usize::try_from(u64::from(count).min(*size)).unwrap_or(usize::MAX)
+            }
+        };
+        self.rotted_bytes += flipped as u64;
+        flipped
+    }
+
+    /// Total bytes silently flipped by [`Disc::rot_bytes`] so far.
+    pub fn rotted_bytes(&self) -> u64 {
+        self.rotted_bytes
     }
 
     /// Returns the number of corrupted sectors.
@@ -541,6 +601,65 @@ mod tests {
             e => panic!("unexpected error {e:?}"),
         }
         assert_eq!(d.scrub(), vec![2]);
+    }
+
+    #[test]
+    fn latent_rot_is_silent_to_reads_and_scrubs() {
+        let mut d = Disc::blank(1, small(), MediaKind::Worm);
+        let data = Bytes::from(vec![0x11u8; 4096]);
+        d.burn_all_once(7, Payload::inline(data.clone())).unwrap();
+        let flipped = d.rot_bytes(0xDEAD_BEEF, 3);
+        assert_eq!(flipped, 3);
+        assert_eq!(d.rotted_bytes(), 3);
+        // The read still succeeds — no sector-level error — but the
+        // bytes are wrong and only a content digest could tell.
+        match d.read_image(7).unwrap() {
+            Payload::Inline(b) => {
+                assert_ne!(b, &data, "rot must change the payload");
+                let diffs = b.iter().zip(data.iter()).filter(|(a, b)| a != b).count();
+                assert_eq!(diffs, 3);
+            }
+            _ => panic!("expected inline payload"),
+        }
+        assert_eq!(d.corrupted_sectors(), 0);
+        assert!(d.scrub().is_empty(), "scrub cannot see latent rot");
+        // Deterministic: the same selector flips the same offsets.
+        let mut e = Disc::blank(2, small(), MediaKind::Worm);
+        e.burn_all_once(7, Payload::inline(data)).unwrap();
+        e.rot_bytes(0xDEAD_BEEF, 3);
+        assert_eq!(d.read_image(7).unwrap(), e.read_image(7).unwrap());
+    }
+
+    #[test]
+    fn repeated_rot_strikes_accumulate_instead_of_cancelling() {
+        let mut d = Disc::blank(1, small(), MediaKind::Worm);
+        let data = Bytes::from(vec![0x22u8; 4096]);
+        d.burn_all_once(3, Payload::inline(data.clone())).unwrap();
+        // Same selector twice: XOR strikes at the same offsets would
+        // silently restore the payload; the salt must prevent that.
+        d.rot_bytes(0xFEED, 4);
+        d.rot_bytes(0xFEED, 4);
+        assert_eq!(d.rotted_bytes(), 8);
+        match d.read_image(3).unwrap() {
+            Payload::Inline(b) => {
+                let diffs = b.iter().zip(data.iter()).filter(|(a, b)| a != b).count();
+                assert!(diffs > 0, "double strike must not heal the disc");
+            }
+            _ => panic!("expected inline payload"),
+        }
+    }
+
+    #[test]
+    fn latent_rot_perturbs_synthetic_checksums() {
+        let mut d = Disc::blank(1, small(), MediaKind::Worm);
+        d.burn_all_once(1, Payload::synthetic(2048, 0xABCD))
+            .unwrap();
+        assert!(d.rot_bytes(5, 2) > 0);
+        assert_ne!(d.read_image(1).unwrap().checksum(), 0xABCD);
+        assert!(d.scrub().is_empty());
+        // Blank discs have nothing to rot.
+        let mut blank = Disc::blank(2, small(), MediaKind::Worm);
+        assert_eq!(blank.rot_bytes(5, 2), 0);
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //! - [`retry::RetryPolicy`]: bounded retries with exponential backoff,
 //!   plus the [`retry::Transience`] classification that separates
 //!   retryable faults from hard, typed degraded-mode results.
+//! - [`aging::AgingPlan`]: a decade-scale media-aging schedule — per-disc
+//!   bathtub hazards (infant mortality + Weibull wear-out), correlated
+//!   manufacturing-batch defects, and latent sector rot
+//!   ([`plan::FaultKind::MediaRot`]) that flips bytes with no I/O error,
+//!   detectable only by an end-to-end digest audit.
 //!
 //! The crate deliberately depends only on `ros-sim`: every other layer
 //! depends on it, implements [`plan::FaultSink`], and keeps its fault
@@ -26,9 +31,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aging;
 pub mod plan;
 pub mod retry;
 
+pub use aging::{AgingEvent, AgingPlan, AgingSpec};
 pub use plan::{
     FaultEvent, FaultKind, FaultPlan, FaultSink, FaultSpec, InjectionOutcome, VolumeTarget,
 };

@@ -69,6 +69,17 @@ pub enum FaultKind {
         /// Number of leading sectors to corrupt.
         sectors: u32,
     },
+    /// Latent sector rot on a burned disc: `bytes` payload bytes flip
+    /// silently, with *no* I/O error — reads succeed and return wrong
+    /// bytes until an end-to-end digest audit catches them ("A Fresh
+    /// Look at the Reliability of Long-term Digital Storage"). `disc`
+    /// selects the victim among burned discs (modulo their count).
+    MediaRot {
+        /// Victim selector over the burned-disc population.
+        disc: u64,
+        /// Number of payload bytes to flip.
+        bytes: u32,
+    },
     /// The next `count` mechanical load/unload operations fail
     /// transiently (arm/latch/tray misfeeds, retryable).
     MechTransient {
@@ -130,6 +141,7 @@ impl FaultKind {
             FaultKind::MediaCorruption { disc, sectors } => {
                 format!("media-corruption d{disc}s{sectors}")
             }
+            FaultKind::MediaRot { disc, bytes } => format!("media-rot d{disc}b{bytes}"),
             FaultKind::MechTransient { count } => format!("mech-transient x{count}"),
             FaultKind::SsdLoss { volume, member } => {
                 format!("ssd-loss {}#{member}", volume.label())
@@ -204,6 +216,10 @@ pub struct FaultSpec {
     pub drive_deaths: u32,
     /// Burned-disc sector-corruption events.
     pub media_corruptions: u32,
+    /// Latent byte-rot events (silent corruption; absent in older
+    /// serialized specs).
+    #[serde(default)]
+    pub media_rot_events: u32,
     /// Transient mechanical fault events.
     pub mech_transients: u32,
     /// SSD member losses (each schedules a paired repair later).
@@ -228,6 +244,7 @@ impl FaultSpec {
             drive_burn_faults: 1,
             drive_deaths: 1,
             media_corruptions: 2,
+            media_rot_events: 0,
             mech_transients: 2,
             ssd_losses: 2,
             rack_outages: 1,
@@ -247,6 +264,7 @@ impl FaultSpec {
             drive_burn_faults: 2,
             drive_deaths: 1,
             media_corruptions: 6,
+            media_rot_events: 0,
             mech_transients: 5,
             ssd_losses: 4,
             rack_outages: 1,
@@ -265,6 +283,7 @@ impl FaultSpec {
             + u64::from(self.drive_burn_faults)
             + u64::from(self.drive_deaths)
             + u64::from(self.media_corruptions)
+            + u64::from(self.media_rot_events)
             + u64::from(self.mech_transients)
             + 2 * u64::from(self.ssd_losses)
             + rack_level
@@ -423,6 +442,19 @@ impl FaultPlan {
                     },
                 ));
             }
+        }
+
+        // Forked after every pre-existing category so older plans are
+        // byte-identical whenever `media_rot_events` is zero.
+        let mut rng = root.fork(0x09);
+        for _ in 0..spec.media_rot_events {
+            // Strike in the later half so some discs are burned by then.
+            let at = horizon / 2 + rng.range_u64(0, horizon.div_ceil(2));
+            let kind = FaultKind::MediaRot {
+                disc: rng.next_u64(),
+                bytes: 1 + index_u32(&mut rng, 8),
+            };
+            staged.push((at.min(horizon - 1), wrap(&mut rng, kind)));
         }
 
         // Stable sort: ties keep category order, which is fixed above,

@@ -60,10 +60,18 @@ impl RetryPolicy {
     }
 
     /// Backoff to charge after failed attempt number `attempt` (1-based).
+    ///
+    /// Computes `min(base_backoff * 2^(attempt-1), max_backoff)` with
+    /// checked/saturating arithmetic, so decade-long schedules with
+    /// arbitrarily large attempt counts can never overflow the delay
+    /// computation — the product saturates and the cap bounds it.
     pub fn backoff(&self, attempt: u32) -> SimDuration {
-        let exp = attempt.saturating_sub(1).min(16);
-        let scaled = self.base_backoff * (1u64 << exp);
-        scaled.min(self.max_backoff)
+        let exp = attempt.saturating_sub(1);
+        // Past 63 doublings the factor no longer fits a u64; saturate it
+        // so a zero base still yields zero and any non-zero base pins at
+        // the cap.
+        let mult = 1u64.checked_shl(exp).unwrap_or(u64::MAX);
+        self.base_backoff.saturating_mul(mult).min(self.max_backoff)
     }
 }
 
@@ -87,7 +95,7 @@ impl RetryStats {
 
     /// Records one backoff period before a retry.
     pub fn note_backoff(&mut self, d: SimDuration) {
-        self.backoff_total += d;
+        self.backoff_total = self.backoff_total.saturating_add(d);
     }
 }
 
@@ -106,6 +114,41 @@ mod tests {
         assert_eq!(p.backoff(2), SimDuration::from_millis(20));
         assert_eq!(p.backoff(3), SimDuration::from_millis(35), "capped");
         assert_eq!(p.backoff(9), SimDuration::from_millis(35));
+    }
+
+    #[test]
+    fn backoff_honours_the_cap_beyond_sixteen_doublings() {
+        // Regression: the old computation clamped the exponent at 16, so
+        // with a large cap the backoff silently stalled at base * 65536
+        // instead of continuing toward `max_backoff` as documented.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: SimDuration::from_millis(1),
+            max_backoff: SimDuration::from_secs(3600),
+        };
+        // 1 ms * 2^19 = ~524 s, well past the old 65.536 s plateau.
+        assert_eq!(p.backoff(20), SimDuration::from_millis(1 << 19));
+        assert_eq!(p.backoff(64), p.max_backoff);
+    }
+
+    #[test]
+    fn backoff_never_overflows_at_extreme_attempts() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: SimDuration::from_nanos(u64::MAX),
+            max_backoff: SimDuration::from_nanos(u64::MAX),
+        };
+        // Shift width beyond 63 and a saturating product: both must pin
+        // at the cap rather than wrap or panic.
+        assert_eq!(p.backoff(2), p.max_backoff);
+        assert_eq!(p.backoff(65), p.max_backoff);
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+        let zero = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: SimDuration::ZERO,
+            max_backoff: SimDuration::from_secs(1),
+        };
+        assert_eq!(zero.backoff(u32::MAX), SimDuration::ZERO);
     }
 
     #[test]

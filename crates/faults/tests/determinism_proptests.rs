@@ -2,10 +2,66 @@
 //! contract the chaos harness depends on.
 
 use proptest::prelude::*;
-use ros_faults::{FaultPlan, FaultSpec};
+use ros_faults::{AgingPlan, AgingSpec, FaultKind, FaultPlan, FaultSpec, VolumeTarget};
 
 fn spec(racks: u32, horizon: u64) -> FaultSpec {
     FaultSpec::soak(racks, horizon)
+}
+
+/// Builds one leaf (non-recursive) [`FaultKind`] variant from a
+/// discriminant and a grab-bag of field values.
+fn leaf_kind(variant: usize, a: u32, b: u32, c: u32, disc: u64) -> FaultKind {
+    let volume = match a % 3 {
+        0 => VolumeTarget::Metadata,
+        1 => VolumeTarget::Buffer,
+        _ => VolumeTarget::Aux,
+    };
+    match variant % 10 {
+        0 => FaultKind::DriveTransientReads {
+            bay: a,
+            drive: b,
+            count: c,
+        },
+        1 => FaultKind::DriveBurnFaults {
+            bay: a,
+            drive: b,
+            count: c,
+        },
+        2 => FaultKind::DriveDeath { bay: a, drive: b },
+        3 => FaultKind::MediaCorruption { disc, sectors: c },
+        4 => FaultKind::MediaRot { disc, bytes: c },
+        5 => FaultKind::MechTransient { count: c },
+        6 => FaultKind::SsdLoss { volume, member: b },
+        7 => FaultKind::SsdRepair { volume, member: b },
+        8 => FaultKind::RackOutage { rack: a },
+        _ => FaultKind::RackSlow {
+            rack: a,
+            factor_pct: c,
+        },
+    }
+}
+
+/// Every [`FaultKind`] variant — including the aging-campaign addition
+/// (`MediaRot`) and the recursive cluster wrapper (`AtRack`, exercised
+/// up to two levels deep).
+fn fault_kind() -> impl Strategy<Value = FaultKind> {
+    (
+        (0usize..12, 0u32..3),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|((variant, wraps), a, b, c, disc)| {
+            let mut kind = leaf_kind(variant, a, b, c, disc);
+            for level in 0..wraps {
+                kind = FaultKind::AtRack {
+                    rack: a.wrapping_add(level),
+                    fault: Box::new(kind),
+                };
+            }
+            kind
+        })
 }
 
 proptest! {
@@ -50,5 +106,49 @@ proptest! {
         let a = FaultPlan::generate(seed, &s);
         let b = FaultPlan::generate(seed.wrapping_add(delta), &s);
         prop_assert_ne!(a.events(), b.events());
+    }
+
+    // Every fault kind — MediaRot and the recursive AtRack wrapper
+    // included — survives a serde round-trip bit-exactly, so persisted
+    // fault schedules replay the same faults.
+    #[test]
+    fn fault_kind_serde_round_trips(kind in fault_kind()) {
+        let json = serde_json::to_string(&kind).unwrap();
+        let back: FaultKind = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(kind, back);
+    }
+
+    // Two aging plans from the same (seed, spec) are strike-for-strike
+    // identical — the paired-comparison contract of the durability
+    // sweep (every cell replays the same schedule).
+    #[test]
+    fn same_seed_identical_aging_plans(
+        seed in any::<u64>(),
+        discs in 1u32..64,
+        epochs in 1u32..64,
+    ) {
+        let spec = AgingSpec::accelerated(discs, epochs);
+        let a = AgingPlan::generate(seed, &spec);
+        let b = AgingPlan::generate(seed, &spec);
+        prop_assert_eq!(a.events(), b.events());
+    }
+
+    // Draining a plan epoch-by-epoch hands out exactly the generated
+    // schedule, in order, regardless of the epoch horizon walked.
+    #[test]
+    fn due_epoch_replays_the_whole_schedule(
+        seed in any::<u64>(),
+        discs in 1u32..32,
+        epochs in 1u32..48,
+    ) {
+        let spec = AgingSpec::accelerated(discs, epochs);
+        let reference = AgingPlan::generate(seed, &spec);
+        let mut plan = AgingPlan::generate(seed, &spec);
+        let mut replayed = Vec::new();
+        for epoch in 0..epochs {
+            replayed.extend(plan.due_epoch(epoch));
+        }
+        prop_assert_eq!(replayed.as_slice(), reference.events());
+        prop_assert_eq!(plan.remaining(), 0);
     }
 }

@@ -122,6 +122,14 @@ pub struct RosConfig {
     /// placement, so existing workload traces only opt in explicitly.
     #[serde(default)]
     pub dedup: bool,
+    /// LOCKSS-style sampled audit: how many images each scheduled scrub
+    /// tick digest-verifies end to end (buffer copies *and* burned
+    /// in-tray tracks), repairing latent rot through the redundancy
+    /// ladder (DESIGN.md §16). 0 disables the sampled audit; the scan
+    /// and any repairs are charged to the sim clock, so audit bandwidth
+    /// competes with foreground traffic.
+    #[serde(default)]
+    pub audit_sample_images: usize,
 }
 
 impl RosConfig {
@@ -146,6 +154,7 @@ impl RosConfig {
             rack_id: 0,
             data_plane_threads: 0,
             dedup: false,
+            audit_sample_images: 0,
         }
     }
 
@@ -173,6 +182,7 @@ impl RosConfig {
             rack_id: 0,
             data_plane_threads: 0,
             dedup: false,
+            audit_sample_images: 0,
         }
     }
 

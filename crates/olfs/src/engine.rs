@@ -143,6 +143,10 @@ pub struct Counters {
     /// Bytes memcpy'd on the read path. Single-segment reads hand back
     /// refcounted slices (zero-copy), so only multi-segment joins count.
     pub read_copy_bytes: u64,
+    /// Latent-rot repairs: fetches whose payload read back *cleanly* but
+    /// failed the CAS digest check and were reconstructed from array
+    /// redundancy before any client saw the corrupt bytes (§16).
+    pub latent_repairs: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -185,6 +189,8 @@ pub struct Ros {
     pub(crate) in_place: BTreeMap<(String, u32), UdfPath>,
     /// Result of the most recent (scheduled or manual) scrub pass.
     pub(crate) last_scrub: Option<crate::maintenance::ScrubReport>,
+    /// Result of the most recent sampled audit pass (§16).
+    pub(crate) last_audit: Option<crate::audit::AuditReport>,
     /// Last access instant per (bay, drive); drives spin down after
     /// `ros_drive::params::sleep_after_idle()` (§5.4).
     drive_last_used: BTreeMap<(usize, usize), SimTime>,
@@ -267,6 +273,7 @@ impl Ros {
             vfs_mounted: BTreeMap::new(),
             in_place: BTreeMap::new(),
             last_scrub: None,
+            last_audit: None,
             drive_last_used: BTreeMap::new(),
             overwritten: BTreeSet::new(),
             quarantined_bays: BTreeSet::new(),
@@ -1003,6 +1010,13 @@ impl Ros {
         if self.burning.is_empty() && self.burn_queue.is_empty() {
             let report = self.scrub();
             self.last_scrub = Some(report);
+            // The sampled audit rides the same idle window: a few
+            // images get the *end-to-end* digest check the sector
+            // scrub cannot provide (§16).
+            if self.cfg.audit_sample_images > 0 {
+                let report = self.audit_sample(self.cfg.audit_sample_images);
+                self.last_audit = Some(report);
+            }
         }
         self.queue.schedule_in(interval, Event::ScrubTick);
     }
@@ -1929,8 +1943,24 @@ impl Ros {
                         )));
                     }
                 };
-                self.vm.allocate(self.vol_buffer, payload.len() as u64)?;
+                // End-to-end digest check *before* the restore: latent
+                // rot flips bytes without any sector error, so the drive
+                // read succeeds and only the CAS digest can tell. A
+                // mismatch is repaired from array redundancy in-line —
+                // the client never observes corrupt bytes.
                 let plane = self.data_plane();
+                let digest = self
+                    .store
+                    .get(image)
+                    .map(|i| i.digest)
+                    .ok_or(OlfsError::ImageLost(image))?;
+                if ros_cas::verify_payload(&digest, &payload, &plane).is_err() {
+                    let repair = self.repair_latent_image(image, bay)?;
+                    *extra += repair;
+                    self.counters.latent_repairs += 1;
+                    return Ok(());
+                }
+                self.vm.allocate(self.vol_buffer, payload.len() as u64)?;
                 self.store.restore_disk_copy(image, payload, &plane)?;
                 Ok(())
             }
@@ -2308,6 +2338,126 @@ impl Ros {
         // restore_disk_copy verifies the content digest: a failed
         // verification means the damage exceeded the schema's tolerance.
         let plane = self.data_plane();
+        self.store
+            .restore_disk_copy(image, bytes, &plane)
+            .map_err(|_| unrecoverable())?;
+        Ok(time)
+    }
+
+    /// Repairs an image whose bytes read back *cleanly* but failed the
+    /// CAS digest check — latent rot. Unlike [`Ros::repair_image`]
+    /// (sector-granular, driven by the drive's damage map), rot leaves
+    /// no damage map: every member of the array is digest-verified
+    /// whole, mismatching members are masked as lost, and the survivors
+    /// reconstruct them through PQ parity
+    /// ([`redundancy::reconstruct_verified`]). Only the requested
+    /// image's buffer copy is restored here; rewriting the rotted array
+    /// onto fresh media is the background audit's job (§16) — a fetch
+    /// holding a reserved bay must not start a group rewrite.
+    pub(crate) fn repair_latent_image(
+        &mut self,
+        image: ImageId,
+        bay: usize,
+    ) -> Result<SimDuration, OlfsError> {
+        let info = self.store.get(image).ok_or(OlfsError::ImageLost(image))?;
+        let gid = info
+            .array
+            .ok_or(OlfsError::Unrecoverable { image, array: None })?;
+        let group = self
+            .store
+            .group(gid)
+            .ok_or(OlfsError::Unrecoverable {
+                image,
+                array: Some(gid),
+            })?
+            .clone();
+        let unrecoverable = || OlfsError::Unrecoverable {
+            image,
+            array: Some(gid),
+        };
+        let members: Vec<ImageId> = group
+            .data
+            .iter()
+            .chain(group.parity.iter())
+            .copied()
+            .collect();
+        let plane = self.data_plane();
+
+        // Gather and digest-verify every member whole; a member whose
+        // bytes mismatch its recorded digest is treated as lost.
+        let mut raw: Vec<Option<Vec<u8>>> = vec![None; members.len()];
+        let mut slowest = SimDuration::ZERO;
+        for (i, member) in members.iter().enumerate() {
+            let Some(minfo) = self.store.get(*member) else {
+                continue;
+            };
+            let digest = minfo.digest;
+            // Prefer verified buffer copies.
+            if let Some(p) = minfo.payload.clone() {
+                if ros_cas::verify_payload(&digest, &p, &plane).is_ok() {
+                    raw[i] = Some(p.to_vec());
+                    continue;
+                }
+            }
+            // The whole array is loaded in the bay: member i in drive i.
+            let Some(drive) = self.bays[bay].drive_mut(i) else {
+                continue;
+            };
+            let speed = drive
+                .read_speed()
+                .unwrap_or_else(|_| ros_drive::params::read_speed_bd25());
+            let Some(disc) = drive.disc() else { continue };
+            if let Ok((Payload::Inline(bytes), bad)) = disc.read_image_raw(member.0) {
+                if bad.is_empty() && ros_cas::verify_payload(&digest, bytes, &plane).is_ok() {
+                    slowest = slowest.max(speed.time_for(bytes.len() as u64));
+                    raw[i] = Some(bytes.to_vec());
+                }
+            }
+        }
+        let mut time = slowest;
+
+        let n_data = group.data.len();
+        let sizes: Vec<usize> = group
+            .data
+            .iter()
+            .map(|id| {
+                self.store
+                    .get(*id)
+                    .map(|i| i.size as usize)
+                    .unwrap_or_default()
+            })
+            .collect();
+        let expected: Vec<ros_cas::Digest> = group
+            .data
+            .iter()
+            .filter_map(|id| self.store.get(*id).map(|i| i.digest))
+            .collect();
+        if expected.len() != n_data {
+            return Err(unrecoverable());
+        }
+        let data_masked: Vec<Option<&[u8]>> = raw[..n_data].iter().map(|e| e.as_deref()).collect();
+        let p_slice = raw.get(n_data).and_then(|e| e.as_deref());
+        let q_slice = raw.get(n_data + 1).and_then(|e| e.as_deref());
+        let recovered = redundancy::reconstruct_verified(
+            self.cfg.redundancy,
+            &data_masked,
+            &sizes,
+            p_slice,
+            q_slice,
+            &expected,
+            &plane,
+        )
+        .map_err(|_| unrecoverable())?;
+
+        // Restore the requested image's verified bytes to the buffer.
+        let idx = group
+            .data
+            .iter()
+            .position(|id| *id == image)
+            .ok_or_else(unrecoverable)?;
+        let bytes = recovered.get(idx).cloned().ok_or_else(unrecoverable)?;
+        time += self.vm.write_time(self.vol_buffer, bytes.len() as u64)?;
+        self.vm.allocate(self.vol_buffer, bytes.len() as u64)?;
         self.store
             .restore_disk_copy(image, bytes, &plane)
             .map_err(|_| unrecoverable())?;

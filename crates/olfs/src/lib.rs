@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod dedup;
@@ -49,6 +50,7 @@ pub mod supervise;
 pub mod trace;
 pub mod wbm;
 
+pub use audit::AuditReport;
 pub use config::{Redundancy, RosConfig};
 pub use engine::{ReadReport, Ros, WriteReport};
 pub use error::OlfsError;

@@ -141,6 +141,51 @@ impl Ros {
         n
     }
 
+    /// Drops the disk-tier copies of *every* burned image — data and
+    /// parity alike — modelling fully cold storage where the optical
+    /// media hold the only copy. [`Ros::evict_burned_copies`] walks the
+    /// read cache and therefore only sees data images; this sweep also
+    /// drops the parity payloads the burn pipeline leaves in the
+    /// buffer, which otherwise mask on-media rot from the audit.
+    /// Returns how many copies were dropped.
+    pub fn evict_all_burned_copies(&mut self) -> usize {
+        let ids: Vec<ImageId> = self
+            .store
+            .images()
+            .filter(|i| i.burned.is_some() && i.on_disk())
+            .map(|i| i.id)
+            .collect();
+        let mut n = 0;
+        for id in ids {
+            if let Ok(freed) = self.store.evict_disk_copy(id) {
+                let _ = self.vm.release(self.vol_buffer, freed);
+                self.cache.remove(id);
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Flips `bytes` payload bytes on every burned in-tray disc —
+    /// latent rot, the counterpart of [`Ros::age_media`]'s sector
+    /// errors. The flips raise no I/O error and are invisible to
+    /// [`Ros::scrub`]; only an end-to-end digest audit
+    /// ([`Ros::audit_sample`]) can find them. Each disc is struck once
+    /// with its own id as the selector, so the drill is deterministic.
+    /// Returns how many discs were rotted.
+    pub fn rot_media(&mut self, bytes: u32) -> usize {
+        let mut rotted = 0;
+        let ids: Vec<DiscId> = (0..self.registry.len() as u64).map(DiscId).collect();
+        for id in ids {
+            if let Some(disc) = self.registry.disc_mut(id) {
+                if !disc.is_blank() && disc.rot_bytes(id.0, bytes) > 0 {
+                    rotted += 1;
+                }
+            }
+        }
+        rotted
+    }
+
     /// Unloads every idle (non-burning) bay back to the roller, leaving
     /// all drives free. Returns the bays unloaded.
     pub fn unload_all_bays(&mut self) -> Result<usize, OlfsError> {

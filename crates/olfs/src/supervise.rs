@@ -140,6 +140,32 @@ impl FaultSink for Ros {
                 }
                 InjectionOutcome::Injected
             }
+            FaultKind::MediaRot { disc, bytes } => {
+                // Same victim population as MediaCorruption, but the
+                // damage is *silent*: bytes flip with no sector error, so
+                // only a digest audit (or a read-path digest check) can
+                // see it.
+                let burned: Vec<DiscId> = (0..self.registry.len() as u64)
+                    .map(DiscId)
+                    .filter(|id| {
+                        self.registry
+                            .disc(*id)
+                            .map(|d| !d.is_blank())
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if burned.is_empty() {
+                    return InjectionOutcome::Skipped("no burned discs in trays".into());
+                }
+                let victim = burned[*disc as usize % burned.len()];
+                let Some(media) = self.registry.disc_mut(victim) else {
+                    return InjectionOutcome::Skipped(format!("disc {victim} not in a tray"));
+                };
+                if media.rot_bytes(*disc, *bytes) == 0 {
+                    return InjectionOutcome::Skipped(format!("disc {victim} has no payload"));
+                }
+                InjectionOutcome::Injected
+            }
             FaultKind::MechTransient { .. } => self.mech.inject_fault(event),
             FaultKind::SsdLoss { volume, .. } | FaultKind::SsdRepair { volume, .. } => {
                 let vol = match volume {

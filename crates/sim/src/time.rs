@@ -176,6 +176,19 @@ impl SimDuration {
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
+
+    /// Saturating addition of two spans (same behaviour as `+`, named
+    /// so checked-arithmetic call sites can spell the saturation out).
+    pub const fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating multiplication by a scalar (same behaviour as `*`,
+    /// named so checked-arithmetic call sites can spell the saturation
+    /// out).
+    pub const fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
 }
 
 impl Add<SimDuration> for SimTime {
